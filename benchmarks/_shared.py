@@ -1,0 +1,106 @@
+"""Shared, cached computations for the benchmark suite.
+
+Several paper tables and figures are views over the same training runs
+(Table 1 = best of the trials, Table 2 = mean ± std of the *same* trials;
+Figures 4, 5, 6 and 9 are different traces of the *same* tracked R-GMM-VGAE
+run).  This module trains each required artefact once per benchmark session
+and caches it so the full suite stays laptop-friendly.
+
+The training budgets (``BENCH_CONFIG``) are intentionally smaller than the
+paper's 200+200 epochs; EXPERIMENTS.md records the resulting numbers next to
+the paper's and discusses where the shapes agree.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Dict, Tuple
+
+from repro.datasets import load_dataset
+from repro.experiments import ExperimentConfig, learning_dynamics_study, run_model_pair
+from repro.experiments.runner import PairResult
+
+#: budget used by every benchmark (see EXPERIMENTS.md for the rationale).
+BENCH_CONFIG = ExperimentConfig(
+    pretrain_epochs=35,
+    clustering_epochs=25,
+    rethink_epochs=35,
+    num_trials=2,
+    base_seed=0,
+)
+
+#: a smaller budget for the sweep-style figures (robustness, sensitivity).
+SWEEP_CONFIG = ExperimentConfig(
+    pretrain_epochs=50,
+    clustering_epochs=35,
+    rethink_epochs=50,
+    num_trials=1,
+    base_seed=0,
+)
+
+CITATION_DATASETS = ("cora_sim", "citeseer_sim", "pubmed_sim")
+AIR_TRAFFIC_DATASETS = ("usa_air_sim", "europe_air_sim", "brazil_air_sim")
+ALL_MODELS = ("gae", "vgae", "argae", "arvgae", "dgae", "gmm_vgae")
+SECOND_GROUP_MODELS = ("dgae", "gmm_vgae")
+
+
+@lru_cache(maxsize=None)
+def cached_pair(model_name: str, dataset_name: str) -> PairResult:
+    """Train (and cache) the D / R-D pair for a model-dataset combination."""
+    return run_model_pair(model_name, dataset_name, config=BENCH_CONFIG)
+
+
+@lru_cache(maxsize=None)
+def cached_graph(dataset_name: str, seed: int = 0):
+    """Load (and cache) a benchmark dataset."""
+    return load_dataset(dataset_name, seed=seed)
+
+
+@lru_cache(maxsize=None)
+def cached_dynamics(model_name: str = "gmm_vgae", dataset_name: str = "cora_sim") -> Dict:
+    """One fully-tracked R- training run, shared by the Figure 4/5/6/9 benches."""
+    graph = cached_graph(dataset_name)
+    config = ExperimentConfig(
+        pretrain_epochs=90, clustering_epochs=40, rethink_epochs=70, num_trials=1
+    )
+    return learning_dynamics_study(
+        model_name, graph, config=config, snapshot_every=20
+    )
+
+
+def citation_rows(models: Tuple[str, ...] = ALL_MODELS, variant_best: bool = True) -> Dict:
+    """Rows of Table 1 (best) or Table 2 (mean ± std) for the citation datasets."""
+    rows: Dict[str, Dict[str, Dict]] = {}
+    for model in models:
+        base_row: Dict[str, Dict] = {}
+        rethink_row: Dict[str, Dict] = {}
+        for dataset in CITATION_DATASETS:
+            pair = cached_pair(model, dataset)
+            if variant_best:
+                base_row[dataset] = pair.best("base").as_dict()
+                rethink_row[dataset] = pair.best("rethink").as_dict()
+            else:
+                base_row[dataset] = pair.mean_std("base")
+                rethink_row[dataset] = pair.mean_std("rethink")
+        rows[model.upper()] = base_row
+        rows[f"R-{model.upper()}"] = rethink_row
+    return rows
+
+
+def air_traffic_rows(variant_best: bool = True) -> Dict:
+    """Rows of Table 3 (best) or Table 4 (mean ± std) for the air-traffic datasets."""
+    rows: Dict[str, Dict[str, Dict]] = {}
+    for model in SECOND_GROUP_MODELS:
+        base_row: Dict[str, Dict] = {}
+        rethink_row: Dict[str, Dict] = {}
+        for dataset in AIR_TRAFFIC_DATASETS:
+            pair = cached_pair(model, dataset)
+            if variant_best:
+                base_row[dataset] = pair.best("base").as_dict()
+                rethink_row[dataset] = pair.best("rethink").as_dict()
+            else:
+                base_row[dataset] = pair.mean_std("base")
+                rethink_row[dataset] = pair.mean_std("rethink")
+        rows[model.upper()] = base_row
+        rows[f"R-{model.upper()}"] = rethink_row
+    return rows

@@ -1,0 +1,31 @@
+"""Table 2 — mean ± std of D vs R-D on the citation surrogates (same trials as Table 1)."""
+
+import numpy as np
+
+from _shared import ALL_MODELS, CITATION_DATASETS, citation_rows
+from repro.experiments import format_mean_std_table
+
+
+def test_table2_citation_mean_std(benchmark):
+    rows = benchmark.pedantic(
+        citation_rows, kwargs={"variant_best": False}, rounds=1, iterations=1
+    )
+    print()
+    print(
+        format_mean_std_table(
+            rows, CITATION_DATASETS, title="Table 2 — mean ± std ACC/NMI/ARI (%)"
+        )
+    )
+    # Standard deviations must be sane (trials differ only by seed).
+    for model_rows in rows.values():
+        for dataset_metrics in model_rows.values():
+            for stats in dataset_metrics.values():
+                assert 0.0 <= stats["std"] <= 0.5
+    # Average improvement shape, as in Table 1 but on means.
+    base_mean = np.mean(
+        [rows[m.upper()][d]["acc"]["mean"] for m in ALL_MODELS for d in CITATION_DATASETS]
+    )
+    rethink_mean = np.mean(
+        [rows[f"R-{m.upper()}"][d]["acc"]["mean"] for m in ALL_MODELS for d in CITATION_DATASETS]
+    )
+    assert rethink_mean >= base_mean - 0.02

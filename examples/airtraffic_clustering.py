@@ -1,0 +1,62 @@
+"""Air-traffic network clustering (attribute-free graphs).
+
+The air-traffic networks of the paper have no node attributes: the feature
+matrix is the one-hot encoding of node degrees.  This example runs the
+(DGAE, R-DGAE) pair on all three air-traffic surrogates and prints a
+Table-3-style comparison.
+
+Usage::
+
+    python examples/airtraffic_clustering.py
+"""
+
+from __future__ import annotations
+
+from repro.core import RethinkConfig, RethinkTrainer
+from repro.datasets import air_traffic_datasets, load_dataset
+from repro.experiments import format_table, rethink_hyperparameters
+from repro.metrics import evaluate_clustering
+from repro.models import build_model
+
+
+def run_pair(dataset_name: str) -> dict:
+    """Train DGAE and R-DGAE on one air-traffic dataset with shared pretraining."""
+    graph = load_dataset(dataset_name, seed=0)
+    pretrain = build_model("dgae", graph.num_features, graph.num_clusters, seed=0)
+    pretrain.pretrain(graph, epochs=80)
+    state = pretrain.state_dict()
+
+    base = build_model("dgae", graph.num_features, graph.num_clusters, seed=0)
+    base.load_state_dict(state)
+    base.fit_clustering(graph, epochs=60)
+    base_report = evaluate_clustering(graph.labels, base.predict_labels(graph))
+
+    hyper = rethink_hyperparameters(dataset_name, "dgae")
+    rethought = build_model("dgae", graph.num_features, graph.num_clusters, seed=0)
+    rethought.load_state_dict(state)
+    trainer = RethinkTrainer(
+        rethought,
+        RethinkConfig(
+            alpha1=hyper["alpha1"],
+            update_omega_every=hyper["update_omega_every"],
+            update_graph_every=hyper["update_graph_every"],
+            epochs=80,
+        ),
+    )
+    history = trainer.fit(graph, pretrained=True)
+    return {"base": base_report.as_dict(), "rethink": history.final_report.as_dict()}
+
+
+def main() -> None:
+    rows = {"DGAE": {}, "R-DGAE": {}}
+    for dataset_name in air_traffic_datasets():
+        print(f"running {dataset_name} ...")
+        outcome = run_pair(dataset_name)
+        rows["DGAE"][dataset_name] = outcome["base"]
+        rows["R-DGAE"][dataset_name] = outcome["rethink"]
+    print()
+    print(format_table(rows, air_traffic_datasets(), title="DGAE vs R-DGAE on air-traffic surrogates"))
+
+
+if __name__ == "__main__":
+    main()

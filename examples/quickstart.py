@@ -1,0 +1,55 @@
+"""Quickstart: turn a GAE model into its R- variant and evaluate the gain.
+
+Runs in under a minute on a laptop: loads the smallest benchmark dataset
+(the Brazil air-traffic surrogate), trains a plain GAE, then trains R-GAE
+from the same pretraining weights and compares ACC / NMI / ARI.
+
+Usage::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro.core import RethinkConfig, RethinkTrainer
+from repro.datasets import dataset_summary, load_dataset
+from repro.metrics import evaluate_clustering
+from repro.models import build_model
+
+
+def main() -> None:
+    dataset_name = "brazil_air_sim"
+    print(f"Dataset summary: {dataset_summary(dataset_name)}")
+    graph = load_dataset(dataset_name, seed=0)
+
+    # ------------------------------------------------------------------
+    # 1. Pretrain a plain GAE (self-supervised adjacency reconstruction).
+    # ------------------------------------------------------------------
+    model = build_model("gae", graph.num_features, graph.num_clusters, seed=0)
+    model.pretrain(graph, epochs=80)
+    pretrained_state = model.state_dict()
+    base_report = evaluate_clustering(graph.labels, model.predict_labels(graph))
+    print(f"GAE   (k-means on pretrained embeddings): {base_report}")
+
+    # ------------------------------------------------------------------
+    # 2. Train the R- variant from the same pretraining weights.
+    #    The sampling operator Xi selects reliable nodes, the operator
+    #    Upsilon rewrites the reconstruction target into a
+    #    clustering-oriented graph.
+    # ------------------------------------------------------------------
+    rethought = build_model("gae", graph.num_features, graph.num_clusters, seed=0)
+    rethought.load_state_dict(pretrained_state)
+    trainer = RethinkTrainer(
+        rethought,
+        RethinkConfig(alpha1=0.3, update_omega_every=10, update_graph_every=5, epochs=80),
+    )
+    history = trainer.fit(graph, pretrained=True)
+    print(f"R-GAE (operators Xi and Upsilon):         {history.final_report}")
+    print(
+        f"decidable-node coverage at the end: {history.omega_coverage[-1]:.2f} "
+        f"(converged: {history.converged})"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+"""repro — a full reproduction of "Rethinking Graph Auto-Encoder Models for
+Attributed Graph Clustering" (R-GAE).
+
+Public API overview
+-------------------
+
+* :mod:`repro.datasets` — synthetic surrogates of the paper's benchmark
+  datasets (``load_dataset``).
+* :mod:`repro.models` — the six GAE clustering models (``build_model``).
+* :mod:`repro.core` — the paper's operators Ξ and Υ, the
+  :class:`~repro.core.rethink.RethinkTrainer` that turns any model D into
+  R-D, and the Feature-Randomness / Feature-Drift diagnostics.
+* :mod:`repro.metrics` — ACC / NMI / ARI evaluation.
+* :mod:`repro.experiments` — runners that regenerate every table and figure.
+
+Quickstart
+----------
+
+>>> from repro.datasets import load_dataset
+>>> from repro.models import build_model
+>>> from repro.core import RethinkTrainer, RethinkConfig
+>>> from repro.metrics import evaluate_clustering
+>>> graph = load_dataset("cora_sim")
+>>> model = build_model("gae", graph.num_features, graph.num_clusters, seed=0)
+>>> trainer = RethinkTrainer(model, RethinkConfig(alpha1=0.5, epochs=50, pretrain_epochs=50))
+>>> history = trainer.fit(graph)
+>>> print(history.final_report)
+"""
+
+__version__ = "1.0.0"
+
+from repro.datasets import load_dataset, available_datasets
+from repro.models import build_model, available_models
+from repro.core import RethinkTrainer, RethinkConfig
+from repro.metrics import evaluate_clustering
+
+__all__ = [
+    "__version__",
+    "load_dataset",
+    "available_datasets",
+    "build_model",
+    "available_models",
+    "RethinkTrainer",
+    "RethinkConfig",
+    "evaluate_clustering",
+]

@@ -1,0 +1,31 @@
+"""Registry of non-GAE clustering baselines (Table 17)."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.baselines.agc import AGC
+from repro.baselines.age import AGE
+from repro.baselines.mgae import MGAE
+from repro.baselines.tadw import TADW
+
+BASELINE_BUILDERS: Dict[str, Callable] = {
+    "tadw": TADW,
+    "mgae": MGAE,
+    "agc": AGC,
+    "age": AGE,
+}
+
+
+def available_baselines() -> List[str]:
+    """Names of all registered baselines."""
+    return sorted(BASELINE_BUILDERS)
+
+
+def build_baseline(name: str, num_clusters: int, seed: int = 0, **kwargs):
+    """Instantiate a registered baseline."""
+    if name not in BASELINE_BUILDERS:
+        raise KeyError(
+            f"unknown baseline {name!r}; available: {', '.join(available_baselines())}"
+        )
+    return BASELINE_BUILDERS[name](num_clusters=num_clusters, seed=seed, **kwargs)

@@ -1,0 +1,22 @@
+"""Classical clustering substrate: k-means, Gaussian mixtures, assignments."""
+
+from repro.clustering.kmeans import KMeans, kmeans_plus_plus_init
+from repro.clustering.gmm import GaussianMixture
+from repro.clustering.assignments import (
+    hard_to_one_hot,
+    soft_assignment_gaussian,
+    soft_assignment_student_t,
+    soften_assignments,
+    target_distribution,
+)
+
+__all__ = [
+    "KMeans",
+    "kmeans_plus_plus_init",
+    "GaussianMixture",
+    "hard_to_one_hot",
+    "soft_assignment_gaussian",
+    "soft_assignment_student_t",
+    "soften_assignments",
+    "target_distribution",
+]

@@ -1,0 +1,121 @@
+"""Diagonal-covariance Gaussian Mixture Model fitted with EM.
+
+GMM-VGAE (Hui et al., 2020) uses a Gaussian mixture over the latent codes to
+capture per-cluster variances; the sampling operator Ξ also uses a diagonal
+Gaussian responsibility (Eq. 15) to soften hard assignments.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.clustering.kmeans import KMeans
+
+
+class GaussianMixture:
+    """EM for a mixture of axis-aligned Gaussians.
+
+    Attributes after :meth:`fit`:
+
+    * ``means_`` — (K, d) component means,
+    * ``variances_`` — (K, d) per-dimension variances,
+    * ``weights_`` — (K,) mixing proportions,
+    * ``responsibilities_`` — (N, K) posterior assignment probabilities.
+    """
+
+    def __init__(
+        self,
+        num_components: int,
+        max_iter: int = 100,
+        tol: float = 1e-5,
+        reg_covar: float = 1e-6,
+        seed: int = 0,
+    ) -> None:
+        self.num_components = int(num_components)
+        self.max_iter = int(max_iter)
+        self.tol = float(tol)
+        self.reg_covar = float(reg_covar)
+        self.seed = int(seed)
+        self.means_: Optional[np.ndarray] = None
+        self.variances_: Optional[np.ndarray] = None
+        self.weights_: Optional[np.ndarray] = None
+        self.responsibilities_: Optional[np.ndarray] = None
+        self.log_likelihood_: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    def _log_prob(self, data: np.ndarray) -> np.ndarray:
+        """(N, K) log densities of each point under each component."""
+        n, d = data.shape
+        log_probs = np.empty((n, self.num_components))
+        for k in range(self.num_components):
+            var = self.variances_[k]
+            diff = data - self.means_[k]
+            log_det = np.sum(np.log(var))
+            mahalanobis = np.sum(diff ** 2 / var, axis=1)
+            log_probs[:, k] = -0.5 * (d * np.log(2.0 * np.pi) + log_det + mahalanobis)
+        return log_probs
+
+    def _e_step(self, data: np.ndarray) -> tuple:
+        weighted = self._log_prob(data) + np.log(self.weights_ + 1e-300)
+        log_norm = _logsumexp(weighted, axis=1)
+        responsibilities = np.exp(weighted - log_norm[:, None])
+        return responsibilities, float(log_norm.mean())
+
+    def _m_step(self, data: np.ndarray, responsibilities: np.ndarray) -> None:
+        counts = responsibilities.sum(axis=0) + 1e-12
+        self.weights_ = counts / data.shape[0]
+        self.means_ = (responsibilities.T @ data) / counts[:, None]
+        for k in range(self.num_components):
+            diff = data - self.means_[k]
+            self.variances_[k] = (
+                responsibilities[:, k] @ (diff ** 2)
+            ) / counts[k] + self.reg_covar
+
+    def fit(self, data: np.ndarray) -> "GaussianMixture":
+        """Fit the mixture with EM, initialised from k-means."""
+        data = np.asarray(data, dtype=np.float64)
+        kmeans = KMeans(self.num_components, num_init=5, seed=self.seed).fit(data)
+        self.means_ = kmeans.cluster_centers_.copy()
+        self.variances_ = np.ones((self.num_components, data.shape[1]))
+        for k in range(self.num_components):
+            members = data[kmeans.labels_ == k]
+            if members.shape[0] > 1:
+                self.variances_[k] = members.var(axis=0) + self.reg_covar
+        _, counts = np.unique(kmeans.labels_, return_counts=True)
+        weights = np.full(self.num_components, 1.0 / self.num_components)
+        weights[: counts.shape[0]] = counts / data.shape[0]
+        self.weights_ = weights / weights.sum()
+
+        previous = -np.inf
+        for _ in range(self.max_iter):
+            responsibilities, log_likelihood = self._e_step(data)
+            self._m_step(data, responsibilities)
+            if abs(log_likelihood - previous) < self.tol:
+                break
+            previous = log_likelihood
+        self.responsibilities_, self.log_likelihood_ = self._e_step(data)
+        return self
+
+    def predict_proba(self, data: np.ndarray) -> np.ndarray:
+        """Posterior responsibilities for new points."""
+        if self.means_ is None:
+            raise RuntimeError("GaussianMixture must be fitted first")
+        data = np.asarray(data, dtype=np.float64)
+        weighted = self._log_prob(data) + np.log(self.weights_ + 1e-300)
+        log_norm = _logsumexp(weighted, axis=1)
+        return np.exp(weighted - log_norm[:, None])
+
+    def predict(self, data: np.ndarray) -> np.ndarray:
+        """Hard assignments (argmax responsibility)."""
+        return np.argmax(self.predict_proba(data), axis=1)
+
+    def fit_predict(self, data: np.ndarray) -> np.ndarray:
+        return self.fit(data).predict(data)
+
+
+def _logsumexp(values: np.ndarray, axis: int) -> np.ndarray:
+    peak = values.max(axis=axis, keepdims=True)
+    out = np.log(np.sum(np.exp(values - peak), axis=axis)) + np.squeeze(peak, axis=axis)
+    return out

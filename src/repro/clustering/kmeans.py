@@ -1,0 +1,121 @@
+"""K-means clustering with k-means++ initialisation.
+
+K-means plays two roles in the paper: it initialises the embedded cluster
+centres of DGAE (Appendix B) and the GMM of GMM-VGAE, and the embedded
+k-means loss is the clustering loss analysed by Proposition 2 and Theorem 1.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+def kmeans_plus_plus_init(
+    data: np.ndarray, num_clusters: int, rng: np.random.Generator
+) -> np.ndarray:
+    """k-means++ seeding (Arthur & Vassilvitskii, 2007)."""
+    data = np.asarray(data, dtype=np.float64)
+    n = data.shape[0]
+    if num_clusters > n:
+        raise ValueError("more clusters than points")
+    centers = np.empty((num_clusters, data.shape[1]))
+    first = int(rng.integers(0, n))
+    centers[0] = data[first]
+    closest_sq = np.sum((data - centers[0]) ** 2, axis=1)
+    for index in range(1, num_clusters):
+        total = closest_sq.sum()
+        if total <= 0.0:
+            # All remaining points coincide with an existing centre.
+            choice = int(rng.integers(0, n))
+        else:
+            probs = closest_sq / total
+            choice = int(rng.choice(n, p=probs))
+        centers[index] = data[choice]
+        dist_sq = np.sum((data - centers[index]) ** 2, axis=1)
+        closest_sq = np.minimum(closest_sq, dist_sq)
+    return centers
+
+
+class KMeans:
+    """Lloyd's algorithm with k-means++ init and multiple restarts."""
+
+    def __init__(
+        self,
+        num_clusters: int,
+        num_init: int = 10,
+        max_iter: int = 300,
+        tol: float = 1e-6,
+        seed: int = 0,
+    ) -> None:
+        if num_clusters < 1:
+            raise ValueError("num_clusters must be positive")
+        self.num_clusters = int(num_clusters)
+        self.num_init = int(num_init)
+        self.max_iter = int(max_iter)
+        self.tol = float(tol)
+        self.seed = int(seed)
+        self.cluster_centers_: Optional[np.ndarray] = None
+        self.labels_: Optional[np.ndarray] = None
+        self.inertia_: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    def _single_run(
+        self, data: np.ndarray, rng: np.random.Generator
+    ) -> Tuple[np.ndarray, np.ndarray, float]:
+        centers = kmeans_plus_plus_init(data, self.num_clusters, rng)
+        labels = np.zeros(data.shape[0], dtype=np.int64)
+        for _ in range(self.max_iter):
+            distances = _pairwise_sq_distances(data, centers)
+            labels = np.argmin(distances, axis=1)
+            new_centers = centers.copy()
+            for cluster in range(self.num_clusters):
+                members = data[labels == cluster]
+                if members.shape[0] > 0:
+                    new_centers[cluster] = members.mean(axis=0)
+                else:
+                    # Re-seed empty clusters at the farthest point.
+                    farthest = int(np.argmax(distances.min(axis=1)))
+                    new_centers[cluster] = data[farthest]
+            shift = float(np.linalg.norm(new_centers - centers))
+            centers = new_centers
+            if shift < self.tol:
+                break
+        distances = _pairwise_sq_distances(data, centers)
+        labels = np.argmin(distances, axis=1)
+        inertia = float(distances[np.arange(data.shape[0]), labels].sum())
+        return centers, labels, inertia
+
+    def fit(self, data: np.ndarray) -> "KMeans":
+        """Run k-means and store centres, labels and inertia."""
+        data = np.asarray(data, dtype=np.float64)
+        rng = np.random.default_rng(self.seed)
+        best: Optional[Tuple[np.ndarray, np.ndarray, float]] = None
+        for _ in range(self.num_init):
+            centers, labels, inertia = self._single_run(data, rng)
+            if best is None or inertia < best[2]:
+                best = (centers, labels, inertia)
+        assert best is not None
+        self.cluster_centers_, self.labels_, self.inertia_ = best
+        return self
+
+    def fit_predict(self, data: np.ndarray) -> np.ndarray:
+        """Fit and return hard cluster labels."""
+        return self.fit(data).labels_
+
+    def predict(self, data: np.ndarray) -> np.ndarray:
+        """Assign new points to the nearest learned centre."""
+        if self.cluster_centers_ is None:
+            raise RuntimeError("KMeans must be fitted before predict()")
+        distances = _pairwise_sq_distances(np.asarray(data, dtype=np.float64), self.cluster_centers_)
+        return np.argmin(distances, axis=1)
+
+
+def _pairwise_sq_distances(data: np.ndarray, centers: np.ndarray) -> np.ndarray:
+    """(N, K) matrix of squared distances between points and centres."""
+    data_sq = np.sum(data ** 2, axis=1)[:, None]
+    centers_sq = np.sum(centers ** 2, axis=1)[None, :]
+    d2 = data_sq + centers_sq - 2.0 * data @ centers.T
+    np.maximum(d2, 0.0, out=d2)
+    return d2

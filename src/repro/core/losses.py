@@ -1,0 +1,87 @@
+"""Loss decompositions of Propositions 1-2 and Theorem 1 (numpy, analysis only).
+
+These functions express the GAE reconstruction loss and the embedded k-means
+loss in their graph-Laplacian forms so the trade-off between Feature
+Randomness and Feature Drift can be inspected numerically:
+
+* Proposition 1:  ``L_bce(Â(Z), A_self) = L_C(Z, A_self) + L_R(Z, A_self)``
+* Proposition 2:  ``L_kmeans(Z) = L_C(Z, A_clus)``
+* Theorem 1:      ``L_kmeans + γ L_bce = L_C(Z, A_clus + γ A_self) + γ L_R``
+
+All sums run over *ordered* node pairs (i, j), matching the paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.supervision import membership_graph
+from repro.graph.laplacian import laplacian_quadratic_form
+
+
+def reconstruction_bce_sum(embeddings: np.ndarray, adjacency: np.ndarray) -> float:
+    """Summed binary cross-entropy ``L_bce(Â(Z), A_self)`` over all ordered pairs.
+
+    ``Â = sigmoid(Z Z^T)``; computed from logits for numerical stability:
+    ``Σ_ij [softplus(z_i·z_j) - a_ij z_i·z_j]``.
+    """
+    z = np.asarray(embeddings, dtype=np.float64)
+    a = np.asarray(adjacency, dtype=np.float64)
+    logits = z @ z.T
+    return float(np.sum(np.logaddexp(0.0, logits) - a * logits))
+
+
+def laplacian_term(embeddings: np.ndarray, adjacency: np.ndarray) -> float:
+    """``L_C(Z, A') = 1/2 Σ_ij a'_ij ||z_i - z_j||²`` (ordered pairs)."""
+    return laplacian_quadratic_form(embeddings, adjacency)
+
+
+def reconstruction_remainder(embeddings: np.ndarray, adjacency: np.ndarray) -> float:
+    """``L_R(Z, A_self) = Σ_ij [log(1+exp(z_i·z_j)) - a_ij (||z_i||²+||z_j||²)/2]``."""
+    z = np.asarray(embeddings, dtype=np.float64)
+    a = np.asarray(adjacency, dtype=np.float64)
+    logits = z @ z.T
+    sq_norms = np.sum(z ** 2, axis=1)
+    pair_norms = 0.5 * (sq_norms[:, None] + sq_norms[None, :])
+    return float(np.sum(np.logaddexp(0.0, logits) - a * pair_norms))
+
+
+def kmeans_loss(embeddings: np.ndarray, hard_labels: np.ndarray) -> float:
+    """Embedded k-means loss ``Σ_k Σ_{i∈C_k} ||z_i - μ_k||²`` with empirical centres."""
+    z = np.asarray(embeddings, dtype=np.float64)
+    labels = np.asarray(hard_labels, dtype=np.int64)
+    total = 0.0
+    for cluster in np.unique(labels):
+        members = z[labels == cluster]
+        center = members.mean(axis=0)
+        total += float(np.sum((members - center) ** 2))
+    return total
+
+
+def kmeans_loss_as_laplacian(embeddings: np.ndarray, hard_labels: np.ndarray) -> float:
+    """Right-hand side of Proposition 2: ``L_C(Z, A_clus)``."""
+    a_clus = membership_graph(hard_labels)
+    return laplacian_term(embeddings, a_clus)
+
+
+def combined_objective(
+    embeddings: np.ndarray,
+    adjacency: np.ndarray,
+    hard_labels: np.ndarray,
+    gamma: float,
+) -> dict:
+    """Both sides of Theorem 1 for a given embedding, graph and partition.
+
+    Returns a dictionary with the direct evaluation
+    ``L_kmeans + γ L_bce`` and the decomposition
+    ``L_C(Z, A_clus + γ A_self) + γ L_R(Z, A_self)``; the two should agree to
+    numerical precision.
+    """
+    a_clus = membership_graph(hard_labels)
+    direct = kmeans_loss(embeddings, hard_labels) + gamma * reconstruction_bce_sum(
+        embeddings, adjacency
+    )
+    decomposed = laplacian_term(
+        embeddings, a_clus + gamma * np.asarray(adjacency, dtype=np.float64)
+    ) + gamma * reconstruction_remainder(embeddings, adjacency)
+    return {"direct": direct, "decomposed": decomposed, "gap": abs(direct - decomposed)}

@@ -1,0 +1,131 @@
+"""The sampling operator Ξ (Algorithm 1) — protection against Feature Randomness.
+
+Given embedded representations and a clustering assignment matrix, Ξ selects
+the set Ω of *decidable* nodes whose assignments are reliable enough to be
+used as pseudo-supervision:
+
+1. hard assignments are softened into Gaussian responsibilities (Eq. 15),
+2. the first and second high-confidence scores λ¹ and λ² are extracted
+   (Eqs. 16-17),
+3. a node enters Ω when ``λ¹ ≥ α1`` and ``λ¹ - λ² ≥ α2`` (Eq. 18), with
+   ``α2 = α1 / 2`` by default.
+
+The computational complexity is O(N K² d), as stated in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.clustering.assignments import soften_assignments
+
+
+@dataclass
+class SamplingResult:
+    """Output of the operator Ξ."""
+
+    #: indices of decidable nodes (the set Ω).
+    reliable_nodes: np.ndarray
+    #: (N, K) softened assignment matrix p'.
+    soft_assignments: np.ndarray
+    #: first high-confidence score λ¹ per node.
+    first_scores: np.ndarray
+    #: second high-confidence score λ² per node.
+    second_scores: np.ndarray
+
+    @property
+    def num_reliable(self) -> int:
+        return int(self.reliable_nodes.shape[0])
+
+    def coverage(self) -> float:
+        """|Ω| / N — the fraction driving the convergence criterion."""
+        return self.num_reliable / self.soft_assignments.shape[0]
+
+    def mask(self) -> np.ndarray:
+        """Boolean mask of decidable nodes."""
+        mask = np.zeros(self.soft_assignments.shape[0], dtype=bool)
+        mask[self.reliable_nodes] = True
+        return mask
+
+
+def confidence_scores(soft_assignments: np.ndarray) -> tuple:
+    """First and second high-confidence scores (Eqs. 16-17) per node."""
+    soft_assignments = np.asarray(soft_assignments, dtype=np.float64)
+    if soft_assignments.shape[1] < 2:
+        first = soft_assignments[:, 0]
+        return first, np.zeros_like(first)
+    sorted_scores = np.sort(soft_assignments, axis=1)
+    first = sorted_scores[:, -1]
+    second = sorted_scores[:, -2]
+    return first, second
+
+
+def select_reliable_nodes(
+    embeddings: np.ndarray,
+    assignments: np.ndarray,
+    alpha1: float,
+    alpha2: Optional[float] = None,
+) -> SamplingResult:
+    """Apply the operator Ξ and return the decidable set Ω with diagnostics.
+
+    Parameters
+    ----------
+    embeddings:
+        (N, d) embedded representations Z.
+    assignments:
+        (N, K) clustering assignment matrix P — hard (one-hot) or soft.
+    alpha1:
+        First confidence threshold in [0, 1].
+    alpha2:
+        Margin threshold; defaults to ``alpha1 / 2`` as in the paper.
+    """
+    if not 0.0 <= alpha1 <= 1.0:
+        raise ValueError("alpha1 must lie in [0, 1]")
+    if alpha2 is None:
+        alpha2 = alpha1 / 2.0
+    if alpha2 < 0.0:
+        raise ValueError("alpha2 must be non-negative")
+    soft = soften_assignments(np.asarray(assignments, dtype=np.float64), embeddings)
+    first, second = confidence_scores(soft)
+    selected = np.flatnonzero((first >= alpha1) & ((first - second) >= alpha2))
+    return SamplingResult(
+        reliable_nodes=selected,
+        soft_assignments=soft,
+        first_scores=first,
+        second_scores=second,
+    )
+
+
+class SamplingOperator:
+    """Object-style wrapper around :func:`select_reliable_nodes`.
+
+    Holds the (α1, α2) configuration so the trainer can re-apply Ξ every
+    ``M1`` epochs without re-threading hyper-parameters.  Setting
+    ``use_margin_criterion=False`` or ``use_confidence_criterion=False``
+    reproduces the ablations of Table 8.
+    """
+
+    def __init__(
+        self,
+        alpha1: float = 0.3,
+        alpha2: Optional[float] = None,
+        use_confidence_criterion: bool = True,
+        use_margin_criterion: bool = True,
+    ) -> None:
+        if not 0.0 <= alpha1 <= 1.0:
+            raise ValueError("alpha1 must lie in [0, 1]")
+        self.alpha1 = float(alpha1)
+        self.alpha2 = float(alpha1 / 2.0 if alpha2 is None else alpha2)
+        self.use_confidence_criterion = bool(use_confidence_criterion)
+        self.use_margin_criterion = bool(use_margin_criterion)
+
+    def __call__(self, embeddings: np.ndarray, assignments: np.ndarray) -> SamplingResult:
+        """Apply Ξ, honouring any disabled criteria (Table 8 ablations)."""
+        effective_alpha1 = self.alpha1 if self.use_confidence_criterion else 0.0
+        effective_alpha2 = self.alpha2 if self.use_margin_criterion else 0.0
+        return select_reliable_nodes(
+            embeddings, assignments, alpha1=effective_alpha1, alpha2=effective_alpha2
+        )

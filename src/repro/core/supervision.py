@@ -1,0 +1,83 @@
+"""Clustering / supervision graphs and the Hungarian-aligned oracle Q'.
+
+The theoretical analysis (Section 3) defines three weighted graphs:
+
+* the self-supervision graph ``A_self`` (the input adjacency),
+* the clustering graph ``A_clus`` with ``1/|C_k|`` weights inside each
+  *predicted* cluster,
+* the supervision graph ``A_sup`` with ``1/|C_k|`` weights inside each
+  *ground-truth* cluster.
+
+The Λ_FR / Λ_FD diagnostics additionally need ``Q' = AH(Q, P)`` — the
+ground-truth assignment matrix expressed in the predicted-cluster index
+space via the Hungarian algorithm.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.metrics.hungarian import hungarian_matching
+
+
+def membership_graph(labels: np.ndarray, num_clusters: Optional[int] = None) -> np.ndarray:
+    """Weighted block graph with ``1/|C_k|`` entries inside each cluster.
+
+    This is the common construction behind ``A_clus`` and ``A_sup``; the
+    diagonal is included, matching the paper's definition.
+    """
+    labels = np.asarray(labels, dtype=np.int64)
+    n = labels.shape[0]
+    if num_clusters is None:
+        num_clusters = int(labels.max()) + 1
+    graph = np.zeros((n, n))
+    for cluster in range(num_clusters):
+        members = np.flatnonzero(labels == cluster)
+        if members.size == 0:
+            continue
+        weight = 1.0 / members.size
+        graph[np.ix_(members, members)] = weight
+    return graph
+
+
+def clustering_graph(assignments: np.ndarray) -> np.ndarray:
+    """``A_clus`` built from a (N, K) assignment matrix (soft or hard)."""
+    assignments = np.asarray(assignments)
+    hard = np.argmax(assignments, axis=1)
+    return membership_graph(hard, num_clusters=assignments.shape[1])
+
+
+def supervision_graph(labels: np.ndarray) -> np.ndarray:
+    """``A_sup`` built from ground-truth labels."""
+    return membership_graph(labels)
+
+
+def aligned_oracle_assignments(
+    true_labels: np.ndarray, predicted_assignments: np.ndarray
+) -> np.ndarray:
+    """The oracle assignment matrix ``Q' = AH(Q, P)``.
+
+    Returns an (N, K) one-hot matrix in the *predicted* cluster index space:
+    each node is assigned to the predicted cluster that the Hungarian
+    matching pairs with its ground-truth class.  Ground-truth classes that
+    receive no predicted cluster (possible when K_pred < K_true) keep their
+    own index modulo K.
+    """
+    true_labels = np.asarray(true_labels, dtype=np.int64)
+    predicted_assignments = np.asarray(predicted_assignments)
+    num_clusters = predicted_assignments.shape[1]
+    predicted_hard = np.argmax(predicted_assignments, axis=1)
+    mapping = hungarian_matching(true_labels, predicted_hard)
+    # Invert: ground-truth class -> predicted cluster index.
+    inverse = {true: pred for pred, true in mapping.items()}
+    oracle = np.zeros((true_labels.shape[0], num_clusters))
+    for node, label in enumerate(true_labels):
+        column = inverse.get(int(label), int(label) % num_clusters)
+        if column >= num_clusters:
+            # The Hungarian matching may pair a ground-truth class with a
+            # predicted id that never occurs (K_pred < K_true); fold it back.
+            column = int(label) % num_clusters
+        oracle[node, column] = 1.0
+    return oracle

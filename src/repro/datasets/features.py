@@ -1,0 +1,50 @@
+"""Feature construction helpers shared by the dataset builders.
+
+The paper row-normalises every feature matrix with the Euclidean norm and,
+for the attribute-free air-traffic networks, uses a one-hot encoding of the
+node degree as the feature matrix (Section 5.1).  Both constructions are
+reproduced here.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+def degree_one_hot_features(adjacency: np.ndarray, max_degree: Optional[int] = None) -> np.ndarray:
+    """One-hot encoding of the (capped) node degree.
+
+    Parameters
+    ----------
+    adjacency:
+        Binary symmetric adjacency matrix.
+    max_degree:
+        Degrees above this value are clamped into the last bucket.  When
+        ``None`` the maximum observed degree is used.
+    """
+    degrees = np.asarray(adjacency, dtype=np.float64).sum(axis=1).astype(int)
+    if max_degree is None:
+        max_degree = int(degrees.max()) if degrees.size else 0
+    capped = np.minimum(degrees, max_degree)
+    features = np.zeros((degrees.shape[0], max_degree + 1))
+    features[np.arange(degrees.shape[0]), capped] = 1.0
+    return features
+
+
+def row_normalize(features: np.ndarray, norm: str = "l2") -> np.ndarray:
+    """Row-normalise a feature matrix.
+
+    ``norm`` is ``"l2"`` (Euclidean, the paper's choice) or ``"l1"``.
+    All-zero rows are left untouched.
+    """
+    features = np.asarray(features, dtype=np.float64)
+    if norm == "l2":
+        scale = np.linalg.norm(features, axis=1, keepdims=True)
+    elif norm == "l1":
+        scale = np.abs(features).sum(axis=1, keepdims=True)
+    else:
+        raise ValueError(f"unknown norm: {norm!r}")
+    scale[scale == 0.0] = 1.0
+    return features / scale

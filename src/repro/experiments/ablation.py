@@ -1,0 +1,128 @@
+"""Ablation studies of Tables 6, 7, 8 and 9."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.rethink import RethinkConfig, RethinkTrainer
+from repro.experiments.config import ExperimentConfig, rethink_hyperparameters
+from repro.graph.graph import AttributedGraph
+from repro.models import build_model
+
+
+def _run_with_overrides(
+    model_name: str,
+    graph: AttributedGraph,
+    config: ExperimentConfig,
+    state,
+    seed: int,
+    **overrides,
+) -> Dict[str, float]:
+    """Train an R- model from a shared pretraining state with config overrides."""
+    model = build_model(model_name, graph.num_features, graph.num_clusters, seed=seed)
+    model.load_state_dict(state)
+    hyper = rethink_hyperparameters(graph.name, model_name)
+    settings = dict(
+        alpha1=hyper["alpha1"],
+        update_omega_every=hyper["update_omega_every"],
+        update_graph_every=hyper["update_graph_every"],
+        epochs=config.rethink_epochs,
+    )
+    settings.update(overrides)
+    trainer = RethinkTrainer(model, RethinkConfig(**settings))
+    history = trainer.fit(graph, pretrained=True)
+    return history.final_report.as_dict()
+
+
+def _shared_pretraining(model_name: str, graph: AttributedGraph, config: ExperimentConfig, seed: int):
+    model = build_model(model_name, graph.num_features, graph.num_clusters, seed=seed)
+    model.pretrain(graph, epochs=config.pretrain_epochs)
+    return model.state_dict()
+
+
+def protection_vs_correction_fr(
+    model_name: str,
+    graph: AttributedGraph,
+    delays: Sequence[int] = (0, 10, 30, 50),
+    config: Optional[ExperimentConfig] = None,
+    seed: int = 0,
+) -> List[Dict]:
+    """Table 6: protection (no delay) vs correction (delayed sampling) against FR.
+
+    Delay 0 is the protection mechanism; positive delays let Feature
+    Randomness occur before the sampling operator Ξ kicks in.
+    """
+    config = config or ExperimentConfig.fast()
+    state = _shared_pretraining(model_name, graph, config, seed)
+    results: List[Dict] = []
+    for delay in delays:
+        report = _run_with_overrides(
+            model_name, graph, config, state, seed, protection_delay=delay
+        )
+        results.append({"delay": delay, "mechanism": "protection" if delay == 0 else "correction", **report})
+    return results
+
+
+def protection_vs_correction_fd(
+    model_name: str,
+    graph: AttributedGraph,
+    config: Optional[ExperimentConfig] = None,
+    seed: int = 0,
+) -> List[Dict]:
+    """Table 7: protection (single-step Υ on all nodes) vs correction (gradual Υ on Ω)."""
+    config = config or ExperimentConfig.fast()
+    state = _shared_pretraining(model_name, graph, config, seed)
+    protection = _run_with_overrides(
+        model_name, graph, config, state, seed, single_step_transform=True
+    )
+    correction = _run_with_overrides(
+        model_name, graph, config, state, seed, single_step_transform=False
+    )
+    return [
+        {"mechanism": "protection", **protection},
+        {"mechanism": "correction", **correction},
+    ]
+
+
+def threshold_ablation(
+    model_name: str,
+    graph: AttributedGraph,
+    config: Optional[ExperimentConfig] = None,
+    seed: int = 0,
+) -> List[Dict]:
+    """Table 8: ablate the α1 and α2 criteria of the sampling operator Ξ."""
+    config = config or ExperimentConfig.fast()
+    state = _shared_pretraining(model_name, graph, config, seed)
+    cases = [
+        ("ablation of alpha2", dict(use_margin_criterion=False)),
+        ("ablation of alpha1", dict(use_confidence_criterion=False)),
+        ("ablation of both", dict(use_sampling=False)),
+        ("no ablation", dict()),
+    ]
+    results: List[Dict] = []
+    for label, overrides in cases:
+        report = _run_with_overrides(model_name, graph, config, state, seed, **overrides)
+        results.append({"case": label, **report})
+    return results
+
+
+def edge_operation_ablation(
+    model_name: str,
+    graph: AttributedGraph,
+    config: Optional[ExperimentConfig] = None,
+    seed: int = 0,
+) -> List[Dict]:
+    """Table 9: ablate the add_edge / drop_edge operations of the operator Υ."""
+    config = config or ExperimentConfig.fast()
+    state = _shared_pretraining(model_name, graph, config, seed)
+    cases = [
+        ("ablation of drop_edge", dict(drop_edges=False)),
+        ("ablation of add_edge", dict(add_edges=False)),
+        ("ablation of both", dict(use_graph_transform=False)),
+        ("no ablation", dict()),
+    ]
+    results: List[Dict] = []
+    for label, overrides in cases:
+        report = _run_with_overrides(model_name, graph, config, state, seed, **overrides)
+        results.append({"case": label, **report})
+    return results

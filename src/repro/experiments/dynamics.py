@@ -1,0 +1,169 @@
+"""Learning-dynamics studies behind Figures 4, 5, 6, 9 and 10.
+
+* :func:`learning_dynamics_study` trains an R- model with full tracking and
+  returns the growth of the decidable set Ω, the per-group accuracies, the
+  link bookkeeping of the operator-built graph, and the Λ_FR / Λ_FD traces.
+* :func:`latent_separability_study` compares the latent spaces of a D / R-D
+  pair over training (the quantitative counterpart of the t-SNE plots of
+  Figure 10): a 2-D PCA projection plus a cluster-separability ratio.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.core.rethink import RethinkConfig, RethinkTrainer
+from repro.experiments.config import ExperimentConfig, rethink_hyperparameters
+from repro.graph.graph import AttributedGraph
+from repro.graph.stats import star_subgraph_count
+from repro.metrics.report import evaluate_clustering
+from repro.models import build_model
+from repro.models.registry import model_group
+
+
+def learning_dynamics_study(
+    model_name: str,
+    graph: AttributedGraph,
+    config: Optional[ExperimentConfig] = None,
+    seed: int = 0,
+    track_fr: bool = True,
+    track_fd: bool = True,
+    snapshot_every: int = 20,
+) -> Dict:
+    """Train R-<model> with full tracking and summarise the dynamics.
+
+    Returns a dictionary containing the RethinkHistory plus derived
+    statistics (star-subgraph counts of the snapshots, used by Figure 4).
+    """
+    config = config or ExperimentConfig.fast()
+    model = build_model(model_name, graph.num_features, graph.num_clusters, seed=seed)
+    model.pretrain(graph, epochs=config.pretrain_epochs)
+    hyper = rethink_hyperparameters(graph.name, model_name)
+    trainer = RethinkTrainer(
+        model,
+        RethinkConfig(
+            alpha1=hyper["alpha1"],
+            update_omega_every=hyper["update_omega_every"],
+            update_graph_every=hyper["update_graph_every"],
+            epochs=config.rethink_epochs,
+            track_fr=track_fr and model_group(model_name) == "second",
+            track_fd=track_fd,
+            track_dynamics=True,
+            evaluate_every=max(1, config.rethink_epochs // 10),
+            snapshot_graph_every=snapshot_every,
+            stop_at_convergence=False,
+        ),
+    )
+    history = trainer.fit(graph, pretrained=True)
+    snapshots_summary = {
+        epoch: {
+            "num_edges": int(np.triu(snapshot > 0, k=1).sum()),
+            "star_subgraphs": star_subgraph_count(snapshot),
+        }
+        for epoch, snapshot in history.graph_snapshots.items()
+    }
+    return {
+        "history": history,
+        "graph_snapshot_summary": snapshots_summary,
+        "final_report": history.final_report,
+    }
+
+
+def _pca_2d(embeddings: np.ndarray) -> np.ndarray:
+    """2-D PCA projection (centre, top-2 principal directions)."""
+    centered = embeddings - embeddings.mean(axis=0)
+    _, _, vt = np.linalg.svd(centered, full_matrices=False)
+    return centered @ vt[:2].T
+
+
+def cluster_separability(embeddings: np.ndarray, labels: np.ndarray) -> float:
+    """Between-cluster / within-cluster scatter ratio (higher = more separable)."""
+    embeddings = np.asarray(embeddings, dtype=np.float64)
+    labels = np.asarray(labels)
+    overall_mean = embeddings.mean(axis=0)
+    within = 0.0
+    between = 0.0
+    for cluster in np.unique(labels):
+        members = embeddings[labels == cluster]
+        center = members.mean(axis=0)
+        within += float(np.sum((members - center) ** 2))
+        between += members.shape[0] * float(np.sum((center - overall_mean) ** 2))
+    if within == 0.0:
+        return float("inf")
+    return between / within
+
+
+def latent_separability_study(
+    model_name: str,
+    graph: AttributedGraph,
+    config: Optional[ExperimentConfig] = None,
+    seed: int = 0,
+    checkpoints: int = 4,
+) -> Dict:
+    """Figure 10 counterpart: separability of D vs R-D latent spaces over training."""
+    config = config or ExperimentConfig.fast()
+    # Shared pretraining.
+    pretrain_model = build_model(model_name, graph.num_features, graph.num_clusters, seed=seed)
+    pretrain_model.pretrain(graph, epochs=config.pretrain_epochs)
+    state = pretrain_model.state_dict()
+
+    def checkpoint_epochs(total: int) -> list:
+        if checkpoints <= 1:
+            return [total]
+        step = max(1, total // (checkpoints - 1))
+        return sorted(set(list(range(0, total + 1, step)) + [total]))
+
+    results: Dict[str, Dict[int, Dict[str, float]]] = {"base": {}, "rethink": {}}
+
+    # Base model: record separability at evenly spaced clustering epochs.
+    base = build_model(model_name, graph.num_features, graph.num_clusters, seed=seed)
+    base.load_state_dict(state)
+    epochs_list = checkpoint_epochs(config.clustering_epochs)
+    previous = 0
+    for epoch in epochs_list:
+        chunk = epoch - previous
+        if chunk > 0 and model_group(model_name) == "second":
+            base.fit_clustering(graph, epochs=chunk)
+        previous = epoch
+        embeddings = base.embed(graph)
+        results["base"][epoch] = {
+            "separability": cluster_separability(embeddings, graph.labels),
+            "accuracy": evaluate_clustering(graph.labels, base.predict_labels(graph)).accuracy,
+        }
+
+    # R- model: same protocol, chunked RethinkTrainer runs.
+    rethought = build_model(model_name, graph.num_features, graph.num_clusters, seed=seed)
+    rethought.load_state_dict(state)
+    hyper = rethink_hyperparameters(graph.name, model_name)
+    previous = 0
+    epochs_list = checkpoint_epochs(config.rethink_epochs)
+    for epoch in epochs_list:
+        chunk = epoch - previous
+        if chunk > 0:
+            trainer = RethinkTrainer(
+                rethought,
+                RethinkConfig(
+                    alpha1=hyper["alpha1"],
+                    update_omega_every=hyper["update_omega_every"],
+                    update_graph_every=hyper["update_graph_every"],
+                    epochs=chunk,
+                    stop_at_convergence=False,
+                ),
+            )
+            trainer.fit(graph, pretrained=True)
+        previous = epoch
+        embeddings = rethought.embed(graph)
+        results["rethink"][epoch] = {
+            "separability": cluster_separability(embeddings, graph.labels),
+            "accuracy": evaluate_clustering(
+                graph.labels, rethought.predict_labels(graph)
+            ).accuracy,
+        }
+
+    final_projection = {
+        "base": _pca_2d(base.embed(graph)),
+        "rethink": _pca_2d(rethought.embed(graph)),
+    }
+    return {"trajectory": results, "projection_2d": final_projection}

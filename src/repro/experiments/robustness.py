@@ -1,0 +1,140 @@
+"""Robustness studies of Figures 7-8: noise injection on edges and features.
+
+Each study compares DGAE against R-DGAE (or any other model pair) on
+progressively corrupted copies of a graph, always corrupting both variants
+identically and sharing the pretraining weights, as in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.rethink import RethinkConfig, RethinkTrainer
+from repro.experiments.config import ExperimentConfig, rethink_hyperparameters
+from repro.graph.graph import AttributedGraph
+from repro.graph.ops import (
+    add_feature_noise,
+    add_random_edges,
+    drop_random_edges,
+    drop_random_features,
+)
+from repro.metrics.report import evaluate_clustering
+from repro.models import build_model
+from repro.models.registry import model_group
+
+
+def _run_pair_on_graph(
+    model_name: str,
+    graph: AttributedGraph,
+    config: ExperimentConfig,
+    seed: int,
+) -> Dict[str, Dict[str, float]]:
+    """Train D and R-D on an (already corrupted) graph with shared pretraining."""
+    pretrain_model = build_model(model_name, graph.num_features, graph.num_clusters, seed=seed)
+    pretrain_model.pretrain(graph, epochs=config.pretrain_epochs)
+    state = pretrain_model.state_dict()
+
+    base = build_model(model_name, graph.num_features, graph.num_clusters, seed=seed)
+    base.load_state_dict(state)
+    if model_group(model_name) == "second":
+        base.fit_clustering(graph, epochs=config.clustering_epochs)
+    base_report = evaluate_clustering(graph.labels, base.predict_labels(graph))
+
+    rethought = build_model(model_name, graph.num_features, graph.num_clusters, seed=seed)
+    rethought.load_state_dict(state)
+    hyper = rethink_hyperparameters(graph.name, model_name)
+    trainer = RethinkTrainer(
+        rethought,
+        RethinkConfig(
+            alpha1=hyper["alpha1"],
+            update_omega_every=hyper["update_omega_every"],
+            update_graph_every=hyper["update_graph_every"],
+            epochs=config.rethink_epochs,
+        ),
+    )
+    history = trainer.fit(graph, pretrained=True)
+    return {
+        "base": base_report.as_dict(),
+        "rethink": history.final_report.as_dict(),
+    }
+
+
+def _sweep(
+    model_name: str,
+    graph: AttributedGraph,
+    corrupt,
+    levels: Sequence,
+    config: Optional[ExperimentConfig],
+    seed: int,
+) -> List[Dict]:
+    config = config or ExperimentConfig.fast()
+    rng_master = np.random.default_rng(seed)
+    results: List[Dict] = []
+    for level in levels:
+        rng = np.random.default_rng(rng_master.integers(0, 2 ** 31))
+        corrupted = corrupt(graph, level, rng)
+        outcome = _run_pair_on_graph(model_name, corrupted, config, seed)
+        results.append({"level": level, **outcome})
+    return results
+
+
+def edge_addition_study(
+    model_name: str,
+    graph: AttributedGraph,
+    num_edges_levels: Sequence[int] = (0, 200, 400, 800),
+    config: Optional[ExperimentConfig] = None,
+    seed: int = 0,
+) -> List[Dict]:
+    """Figure 7 (left): add random (noisy) edges and compare D vs R-D."""
+
+    def corrupt(g, level, rng):
+        return g if level == 0 else add_random_edges(g, level, rng)
+
+    return _sweep(model_name, graph, corrupt, num_edges_levels, config, seed)
+
+
+def feature_noise_study(
+    model_name: str,
+    graph: AttributedGraph,
+    variance_levels: Sequence[float] = (0.0, 0.05, 0.1, 0.2),
+    config: Optional[ExperimentConfig] = None,
+    seed: int = 0,
+) -> List[Dict]:
+    """Figure 7 (right): add Gaussian feature noise and compare D vs R-D."""
+
+    def corrupt(g, level, rng):
+        return add_feature_noise(g, level, rng)
+
+    return _sweep(model_name, graph, corrupt, variance_levels, config, seed)
+
+
+def edge_removal_study(
+    model_name: str,
+    graph: AttributedGraph,
+    num_edges_levels: Sequence[int] = (0, 200, 400, 800),
+    config: Optional[ExperimentConfig] = None,
+    seed: int = 0,
+) -> List[Dict]:
+    """Figure 8 (left): drop existing edges and compare D vs R-D."""
+
+    def corrupt(g, level, rng):
+        return g if level == 0 else drop_random_edges(g, level, rng)
+
+    return _sweep(model_name, graph, corrupt, num_edges_levels, config, seed)
+
+
+def feature_removal_study(
+    model_name: str,
+    graph: AttributedGraph,
+    num_columns_levels: Sequence[int] = (0, 50, 100, 200),
+    config: Optional[ExperimentConfig] = None,
+    seed: int = 0,
+) -> List[Dict]:
+    """Figure 8 (right): drop feature columns and compare D vs R-D."""
+
+    def corrupt(g, level, rng):
+        return g if level == 0 else drop_random_features(g, level, rng)
+
+    return _sweep(model_name, graph, corrupt, num_columns_levels, config, seed)

@@ -1,0 +1,170 @@
+"""Train D / R-D pairs and aggregate their clustering metrics.
+
+This is the engine behind Tables 1-4 and 17: for each (model, dataset,
+seed) it pretrains the base model once, snapshots the weights, finishes
+training the base model, and trains the R- version from the *same* pretrain
+snapshot (the paper's fairness protocol: "each couple of methods D and R-D
+share the same pretraining weights").
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.rethink import RethinkConfig, RethinkTrainer
+from repro.datasets import load_dataset
+from repro.experiments.config import ExperimentConfig, rethink_hyperparameters
+from repro.graph.graph import AttributedGraph
+from repro.metrics.report import ClusteringReport, evaluate_clustering
+from repro.models import build_model
+from repro.models.registry import model_group
+
+
+@dataclass
+class TrialResult:
+    """Outcome of a single training run."""
+
+    model: str
+    dataset: str
+    seed: int
+    variant: str  # "base" or "rethink"
+    report: ClusteringReport
+    runtime_seconds: float
+    extra: Dict = field(default_factory=dict)
+
+
+@dataclass
+class PairResult:
+    """All trials of a (model, dataset) pair, base and R- variants."""
+
+    model: str
+    dataset: str
+    base_trials: List[TrialResult] = field(default_factory=list)
+    rethink_trials: List[TrialResult] = field(default_factory=list)
+
+    def best(self, variant: str) -> ClusteringReport:
+        """Best-accuracy report among the trials of a variant."""
+        trials = self.base_trials if variant == "base" else self.rethink_trials
+        if not trials:
+            raise ValueError(f"no trials recorded for variant {variant!r}")
+        return max(trials, key=lambda t: t.report.accuracy).report
+
+    def mean_std(self, variant: str) -> Dict[str, Dict[str, float]]:
+        """Mean and standard deviation of ACC/NMI/ARI for a variant."""
+        trials = self.base_trials if variant == "base" else self.rethink_trials
+        return aggregate_reports([t.report for t in trials])
+
+
+def aggregate_reports(reports: Sequence[ClusteringReport]) -> Dict[str, Dict[str, float]]:
+    """Mean/std of each metric over a list of reports (fractions, not %)."""
+    if not reports:
+        raise ValueError("cannot aggregate an empty list of reports")
+    metrics = {"acc": [r.accuracy for r in reports], "nmi": [r.nmi for r in reports], "ari": [r.ari for r in reports]}
+    return {
+        name: {"mean": float(np.mean(values)), "std": float(np.std(values))}
+        for name, values in metrics.items()
+    }
+
+
+def run_baseline_model(
+    model_name: str,
+    graph: AttributedGraph,
+    config: ExperimentConfig,
+    seed: int,
+    pretrained_state: Optional[Dict[str, np.ndarray]] = None,
+) -> TrialResult:
+    """Train the original model D and evaluate its clustering."""
+    start = time.perf_counter()
+    model = build_model(model_name, graph.num_features, graph.num_clusters, seed=seed)
+    if pretrained_state is not None:
+        model.load_state_dict(pretrained_state)
+    else:
+        model.pretrain(graph, epochs=config.pretrain_epochs)
+    if model_group(model_name) == "second":
+        model.fit_clustering(graph, epochs=config.clustering_epochs)
+    labels = model.predict_labels(graph)
+    runtime = time.perf_counter() - start
+    return TrialResult(
+        model=model_name,
+        dataset=graph.name,
+        seed=seed,
+        variant="base",
+        report=evaluate_clustering(graph.labels, labels),
+        runtime_seconds=runtime,
+    )
+
+
+def run_rethink_model(
+    model_name: str,
+    graph: AttributedGraph,
+    config: ExperimentConfig,
+    seed: int,
+    pretrained_state: Optional[Dict[str, np.ndarray]] = None,
+    rethink_overrides: Optional[Dict] = None,
+) -> TrialResult:
+    """Train the R- variant of a model and evaluate its clustering."""
+    start = time.perf_counter()
+    model = build_model(model_name, graph.num_features, graph.num_clusters, seed=seed)
+    pretrained = pretrained_state is not None
+    if pretrained:
+        model.load_state_dict(pretrained_state)
+    hyper = rethink_hyperparameters(graph.name, model_name)
+    settings = dict(
+        alpha1=hyper["alpha1"],
+        update_omega_every=hyper["update_omega_every"],
+        update_graph_every=hyper["update_graph_every"],
+        epochs=config.rethink_epochs,
+        pretrain_epochs=config.pretrain_epochs,
+    )
+    if rethink_overrides:
+        settings.update(rethink_overrides)
+    trainer = RethinkTrainer(model, RethinkConfig(**settings))
+    history = trainer.fit(graph, pretrained=pretrained)
+    runtime = time.perf_counter() - start
+    return TrialResult(
+        model=model_name,
+        dataset=graph.name,
+        seed=seed,
+        variant="rethink",
+        report=history.final_report,
+        runtime_seconds=runtime,
+        extra={"history": history},
+    )
+
+
+def run_model_pair(
+    model_name: str,
+    dataset_name: str,
+    config: Optional[ExperimentConfig] = None,
+    rethink_overrides: Optional[Dict] = None,
+) -> PairResult:
+    """Run D and R-D over ``config.num_trials`` seeds with shared pretraining."""
+    config = config or ExperimentConfig()
+    pair = PairResult(model=model_name, dataset=dataset_name)
+    for trial in range(config.num_trials):
+        seed = config.base_seed + trial
+        graph = load_dataset(dataset_name, seed=config.base_seed)
+        # Shared pretraining snapshot for fairness.
+        pretrain_model = build_model(
+            model_name, graph.num_features, graph.num_clusters, seed=seed
+        )
+        pretrain_model.pretrain(graph, epochs=config.pretrain_epochs)
+        state = pretrain_model.state_dict()
+        pair.base_trials.append(
+            run_baseline_model(model_name, graph, config, seed, pretrained_state=state)
+        )
+        pair.rethink_trials.append(
+            run_rethink_model(
+                model_name,
+                graph,
+                config,
+                seed,
+                pretrained_state=state,
+                rethink_overrides=rethink_overrides,
+            )
+        )
+    return pair

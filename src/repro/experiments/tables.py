@@ -1,0 +1,91 @@
+"""ASCII table formatting matching the layout of the paper's tables."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+
+def format_table(
+    rows: Dict[str, Dict[str, Dict[str, float]]],
+    datasets: Sequence[str],
+    metrics: Sequence[str] = ("acc", "nmi", "ari"),
+    title: str = "",
+) -> str:
+    """Render ``rows[method][dataset][metric]`` (fractions) as a paper-style table.
+
+    Values are printed in percent with one decimal, the layout matching
+    Tables 1/3/17: one row per method, ACC/NMI/ARI columns per dataset.
+    """
+    header_cells = ["Method"]
+    for dataset in datasets:
+        for metric in metrics:
+            header_cells.append(f"{dataset}:{metric.upper()}")
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(f"{cell:>18}" for cell in header_cells))
+    lines.append("-" * len(lines[-1]))
+    for method, per_dataset in rows.items():
+        cells = [method]
+        for dataset in datasets:
+            metrics_for_dataset = per_dataset.get(dataset, {})
+            for metric in metrics:
+                value = metrics_for_dataset.get(metric)
+                cells.append("--" if value is None else f"{100.0 * value:.1f}")
+        lines.append(" | ".join(f"{cell:>18}" for cell in cells))
+    return "\n".join(lines)
+
+
+def format_mean_std_table(
+    rows: Dict[str, Dict[str, Dict[str, Dict[str, float]]]],
+    datasets: Sequence[str],
+    metrics: Sequence[str] = ("acc", "nmi", "ari"),
+    title: str = "",
+) -> str:
+    """Render mean ± std tables (layout of Tables 2 and 4).
+
+    ``rows[method][dataset][metric]`` must be ``{"mean": .., "std": ..}``
+    with values as fractions.
+    """
+    header_cells = ["Method"]
+    for dataset in datasets:
+        for metric in metrics:
+            header_cells.append(f"{dataset}:{metric.upper()}")
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(f"{cell:>20}" for cell in header_cells))
+    lines.append("-" * len(lines[-1]))
+    for method, per_dataset in rows.items():
+        cells = [method]
+        for dataset in datasets:
+            metrics_for_dataset = per_dataset.get(dataset, {})
+            for metric in metrics:
+                value = metrics_for_dataset.get(metric)
+                if value is None:
+                    cells.append("--")
+                else:
+                    cells.append(
+                        f"{100.0 * value['mean']:.1f} ± {100.0 * value['std']:.1f}"
+                    )
+        lines.append(" | ".join(f"{cell:>20}" for cell in cells))
+    return "\n".join(lines)
+
+
+def format_simple_table(rows: List[Dict[str, object]], columns: Sequence[str], title: str = "") -> str:
+    """Render a list of dictionaries as a fixed-width table."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(f"{column:>16}" for column in columns))
+    lines.append("-" * len(lines[-1]))
+    for row in rows:
+        cells = []
+        for column in columns:
+            value = row.get(column, "--")
+            if isinstance(value, float):
+                cells.append(f"{value:.3f}")
+            else:
+                cells.append(str(value))
+        lines.append(" | ".join(f"{cell:>16}" for cell in cells))
+    return "\n".join(lines)

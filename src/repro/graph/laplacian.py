@@ -1,0 +1,81 @@
+"""Adjacency normalisation and graph Laplacian utilities.
+
+The GCN layers use the symmetric normalisation
+``A_norm = D^{-1/2} (A + I) D^{-1/2}`` of Kipf & Welling; the theoretical
+analysis additionally needs the normalised adjacency *without* self loops
+(``~A_self`` in the paper) and the Laplacian quadratic form
+``L_C(Z, A') = 1/2 sum_ij a'_ij ||z_i - z_j||^2``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+def degree_vector(adjacency: np.ndarray) -> np.ndarray:
+    """Row-sum degree vector of an adjacency matrix."""
+    return np.asarray(adjacency, dtype=np.float64).sum(axis=1)
+
+
+def degree_matrix(adjacency: np.ndarray) -> np.ndarray:
+    """Diagonal degree matrix."""
+    return np.diag(degree_vector(adjacency))
+
+
+def add_self_loops(adjacency: np.ndarray) -> np.ndarray:
+    """Return ``A + I`` (without modifying the input)."""
+    adjacency = np.asarray(adjacency, dtype=np.float64)
+    return adjacency + np.eye(adjacency.shape[0])
+
+
+def normalize_adjacency(adjacency: np.ndarray, self_loops: bool = True) -> np.ndarray:
+    """Symmetrically normalised adjacency ``D^{-1/2} A D^{-1/2}``.
+
+    Parameters
+    ----------
+    adjacency:
+        Binary (or weighted) symmetric adjacency matrix.
+    self_loops:
+        If True (default), self loops are added before normalisation, giving
+        the GCN propagation matrix.  If False the paper's ``~A_self`` matrix
+        is returned (used by the FD analysis).
+    Isolated nodes (zero degree) receive a zero row/column instead of NaNs.
+    """
+    adjacency = np.asarray(adjacency, dtype=np.float64)
+    if self_loops:
+        adjacency = add_self_loops(adjacency)
+    degrees = adjacency.sum(axis=1)
+    inv_sqrt = np.zeros_like(degrees)
+    nonzero = degrees > 0
+    inv_sqrt[nonzero] = 1.0 / np.sqrt(degrees[nonzero])
+    return adjacency * inv_sqrt[:, None] * inv_sqrt[None, :]
+
+
+def graph_laplacian(adjacency: np.ndarray, normalized: bool = False) -> np.ndarray:
+    """Combinatorial (``D - A``) or symmetric normalised Laplacian."""
+    adjacency = np.asarray(adjacency, dtype=np.float64)
+    if not normalized:
+        return degree_matrix(adjacency) - adjacency
+    norm = normalize_adjacency(adjacency, self_loops=False)
+    return np.eye(adjacency.shape[0]) - norm
+
+
+def laplacian_quadratic_form(embeddings: np.ndarray, adjacency: np.ndarray) -> float:
+    """The paper's graph-weighted loss ``L_C(Z, A') = 1/2 Σ a'_ij ||z_i - z_j||²``.
+
+    Computed via the Laplacian identity ``tr(Z^T L Z)`` for efficiency; works
+    for arbitrary non-negative weight matrices ``A'`` (clustering graph,
+    supervision graph, normalised self-supervision graph, or any linear
+    combination of them).
+    """
+    z = np.asarray(embeddings, dtype=np.float64)
+    a = np.asarray(adjacency, dtype=np.float64)
+    # 1/2 Σ_ij a_ij (||z_i||² + ||z_j||² - 2 z_i·z_j), valid for arbitrary
+    # (possibly asymmetric) non-negative weight matrices.
+    sq_norms = np.sum(z ** 2, axis=1)
+    row_deg = a.sum(axis=1)
+    col_deg = a.sum(axis=0)
+    cross = float(np.sum(a * (z @ z.T)))
+    return float(0.5 * (row_deg @ sq_norms + col_deg @ sq_norms) - cross)

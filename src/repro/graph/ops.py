@@ -1,0 +1,109 @@
+"""Graph and feature perturbation operations.
+
+Used by the robustness experiments (Figures 7-8 of the paper): adding noisy
+edges, dropping existing edges, adding Gaussian feature noise and dropping
+feature columns.  Also provides :func:`edge_difference` which the learning
+dynamics experiments use to count added/deleted links of the operator-built
+self-supervision graph (Figure 9).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.graph.graph import AttributedGraph
+
+
+def add_random_edges(
+    graph: AttributedGraph, num_edges: int, rng: np.random.Generator
+) -> AttributedGraph:
+    """Connect ``num_edges`` uniformly random, currently unlinked node pairs."""
+    adjacency = graph.adjacency.copy()
+    n = adjacency.shape[0]
+    candidates = np.argwhere(np.triu(adjacency == 0, k=1))
+    if candidates.shape[0] < num_edges:
+        raise ValueError("not enough unlinked pairs to add the requested edges")
+    chosen = candidates[rng.choice(candidates.shape[0], size=num_edges, replace=False)]
+    adjacency[chosen[:, 0], chosen[:, 1]] = 1.0
+    adjacency[chosen[:, 1], chosen[:, 0]] = 1.0
+    return graph.with_adjacency(adjacency)
+
+
+def drop_random_edges(
+    graph: AttributedGraph, num_edges: int, rng: np.random.Generator
+) -> AttributedGraph:
+    """Remove ``num_edges`` uniformly random existing edges."""
+    adjacency = graph.adjacency.copy()
+    existing = np.argwhere(np.triu(adjacency == 1, k=1))
+    if existing.shape[0] < num_edges:
+        raise ValueError("graph does not have enough edges to drop")
+    chosen = existing[rng.choice(existing.shape[0], size=num_edges, replace=False)]
+    adjacency[chosen[:, 0], chosen[:, 1]] = 0.0
+    adjacency[chosen[:, 1], chosen[:, 0]] = 0.0
+    return graph.with_adjacency(adjacency)
+
+
+def add_feature_noise(
+    graph: AttributedGraph, variance: float, rng: np.random.Generator
+) -> AttributedGraph:
+    """Add zero-mean Gaussian noise with the given variance to all features."""
+    if variance < 0.0:
+        raise ValueError("variance must be non-negative")
+    if variance == 0.0:
+        return graph.copy()
+    noise = rng.normal(0.0, np.sqrt(variance), size=graph.features.shape)
+    return graph.with_features(graph.features + noise)
+
+
+def drop_random_features(
+    graph: AttributedGraph, num_columns: int, rng: np.random.Generator
+) -> AttributedGraph:
+    """Zero out ``num_columns`` randomly chosen feature columns."""
+    num_features = graph.features.shape[1]
+    if num_columns > num_features:
+        raise ValueError("cannot drop more columns than the graph has features")
+    columns = rng.choice(num_features, size=num_columns, replace=False)
+    features = graph.features.copy()
+    features[:, columns] = 0.0
+    return graph.with_features(features)
+
+
+def edge_difference(
+    original: np.ndarray, modified: np.ndarray, labels: np.ndarray
+) -> Dict[str, int]:
+    """Compare two adjacency matrices and classify added/deleted links.
+
+    Returns the counts the paper plots in Figure 9 (d)-(f): total links of
+    the modified graph, links added relative to ``original`` and links
+    deleted, each split into *true* (same ground-truth label) and *false*
+    (different labels) links.
+    """
+    original = np.triu(np.asarray(original) > 0, k=1)
+    modified = np.triu(np.asarray(modified) > 0, k=1)
+    labels = np.asarray(labels)
+    same_label = labels[:, None] == labels[None, :]
+
+    added = modified & ~original
+    deleted = original & ~modified
+
+    def _split(mask: np.ndarray) -> Tuple[int, int]:
+        true_links = int(np.sum(mask & same_label))
+        false_links = int(np.sum(mask & ~same_label))
+        return true_links, false_links
+
+    total_true, total_false = _split(modified)
+    added_true, added_false = _split(added)
+    deleted_true, deleted_false = _split(deleted)
+    return {
+        "total_links": int(modified.sum()),
+        "total_true_links": total_true,
+        "total_false_links": total_false,
+        "added_links": int(added.sum()),
+        "added_true_links": added_true,
+        "added_false_links": added_false,
+        "deleted_links": int(deleted.sum()),
+        "deleted_true_links": deleted_true,
+        "deleted_false_links": deleted_false,
+    }

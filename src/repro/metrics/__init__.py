@@ -1,0 +1,17 @@
+"""Clustering evaluation metrics: ACC (Hungarian-matched), NMI, ARI."""
+
+from repro.metrics.hungarian import hungarian_matching, align_labels
+from repro.metrics.accuracy import clustering_accuracy
+from repro.metrics.nmi import normalized_mutual_information
+from repro.metrics.ari import adjusted_rand_index
+from repro.metrics.report import ClusteringReport, evaluate_clustering
+
+__all__ = [
+    "hungarian_matching",
+    "align_labels",
+    "clustering_accuracy",
+    "normalized_mutual_information",
+    "adjusted_rand_index",
+    "ClusteringReport",
+    "evaluate_clustering",
+]

@@ -1,0 +1,21 @@
+"""Clustering accuracy (ACC) with optimal label matching."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.metrics.hungarian import align_labels
+
+
+def clustering_accuracy(true_labels: np.ndarray, predicted_labels: np.ndarray) -> float:
+    """Fraction of samples correctly clustered under the best label permutation.
+
+    ``ACC = max_perm (1/N) Σ 1[y_i == perm(p_i)]`` — the permutation is found
+    with the Hungarian algorithm, exactly as in the paper's evaluation.
+    """
+    true_labels = np.asarray(true_labels, dtype=np.int64)
+    predicted_labels = np.asarray(predicted_labels, dtype=np.int64)
+    if true_labels.size == 0:
+        raise ValueError("cannot compute accuracy of empty label arrays")
+    aligned = align_labels(true_labels, predicted_labels)
+    return float(np.mean(aligned == true_labels))

@@ -1,0 +1,40 @@
+"""Adjusted Rand Index (ARI) between two partitions."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.metrics.nmi import contingency_matrix
+
+
+def _comb2(values: np.ndarray) -> np.ndarray:
+    """Vectorised "n choose 2"."""
+    values = np.asarray(values, dtype=np.float64)
+    return values * (values - 1.0) / 2.0
+
+
+def adjusted_rand_index(true_labels: np.ndarray, predicted_labels: np.ndarray) -> float:
+    """ARI (Hubert & Arabie, 1985): chance-corrected pair-counting agreement.
+
+    Returns 1.0 for identical partitions, ~0 for random partitions and can be
+    negative for partitions that disagree more than chance.
+    """
+    true_labels = np.asarray(true_labels, dtype=np.int64)
+    predicted_labels = np.asarray(predicted_labels, dtype=np.int64)
+    if true_labels.shape != predicted_labels.shape:
+        raise ValueError("label arrays must have the same shape")
+    if true_labels.size == 0:
+        raise ValueError("cannot compute ARI of empty label arrays")
+    contingency = contingency_matrix(true_labels, predicted_labels)
+    sum_comb_cells = float(_comb2(contingency).sum())
+    sum_comb_rows = float(_comb2(contingency.sum(axis=1)).sum())
+    sum_comb_cols = float(_comb2(contingency.sum(axis=0)).sum())
+    total_pairs = float(_comb2(np.array([true_labels.size])).sum())
+    if total_pairs == 0:
+        return 1.0
+    expected = sum_comb_rows * sum_comb_cols / total_pairs
+    max_index = 0.5 * (sum_comb_rows + sum_comb_cols)
+    denom = max_index - expected
+    if denom == 0.0:
+        return 1.0 if sum_comb_cells == expected else 0.0
+    return float((sum_comb_cells - expected) / denom)

@@ -1,0 +1,63 @@
+"""Normalized Mutual Information (NMI) between two partitions."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _entropy(counts: np.ndarray) -> float:
+    total = counts.sum()
+    if total == 0:
+        return 0.0
+    probs = counts[counts > 0] / total
+    return float(-np.sum(probs * np.log(probs)))
+
+
+def contingency_matrix(true_labels: np.ndarray, predicted_labels: np.ndarray) -> np.ndarray:
+    """(num_true, num_pred) matrix of co-occurrence counts."""
+    true_labels = np.asarray(true_labels, dtype=np.int64)
+    predicted_labels = np.asarray(predicted_labels, dtype=np.int64)
+    true_ids, true_inv = np.unique(true_labels, return_inverse=True)
+    pred_ids, pred_inv = np.unique(predicted_labels, return_inverse=True)
+    matrix = np.zeros((true_ids.shape[0], pred_ids.shape[0]))
+    np.add.at(matrix, (true_inv, pred_inv), 1.0)
+    return matrix
+
+
+def normalized_mutual_information(
+    true_labels: np.ndarray, predicted_labels: np.ndarray, average: str = "arithmetic"
+) -> float:
+    """NMI with arithmetic-mean normalisation (sklearn's default).
+
+    ``NMI = 2 I(T; P) / (H(T) + H(P))`` for ``average="arithmetic"`` or
+    ``I / sqrt(H(T) H(P))`` for ``average="geometric"``.
+    """
+    true_labels = np.asarray(true_labels, dtype=np.int64)
+    predicted_labels = np.asarray(predicted_labels, dtype=np.int64)
+    if true_labels.shape != predicted_labels.shape:
+        raise ValueError("label arrays must have the same shape")
+    contingency = contingency_matrix(true_labels, predicted_labels)
+    n = contingency.sum()
+    if n == 0:
+        raise ValueError("cannot compute NMI of empty label arrays")
+    joint = contingency / n
+    marginal_true = joint.sum(axis=1)
+    marginal_pred = joint.sum(axis=0)
+    outer = np.outer(marginal_true, marginal_pred)
+    nonzero = joint > 0
+    mutual_information = float(
+        np.sum(joint[nonzero] * (np.log(joint[nonzero]) - np.log(outer[nonzero])))
+    )
+    h_true = _entropy(contingency.sum(axis=1))
+    h_pred = _entropy(contingency.sum(axis=0))
+    if h_true == 0.0 and h_pred == 0.0:
+        return 1.0
+    if average == "arithmetic":
+        denom = 0.5 * (h_true + h_pred)
+    elif average == "geometric":
+        denom = np.sqrt(h_true * h_pred)
+    else:
+        raise ValueError(f"unknown average: {average!r}")
+    if denom == 0.0:
+        return 0.0
+    return float(np.clip(mutual_information / denom, 0.0, 1.0))

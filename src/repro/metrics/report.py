@@ -1,0 +1,41 @@
+"""Bundled ACC/NMI/ARI evaluation, the triple reported in every paper table."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.metrics.accuracy import clustering_accuracy
+from repro.metrics.ari import adjusted_rand_index
+from repro.metrics.nmi import normalized_mutual_information
+
+
+@dataclass(frozen=True)
+class ClusteringReport:
+    """ACC / NMI / ARI triple, stored as fractions in [0, 1] (ARI in [-1, 1])."""
+
+    accuracy: float
+    nmi: float
+    ari: float
+
+    def as_dict(self) -> Dict[str, float]:
+        return {"acc": self.accuracy, "nmi": self.nmi, "ari": self.ari}
+
+    def as_percentages(self) -> Dict[str, float]:
+        """Values scaled to percentages, matching the paper's tables."""
+        return {key: 100.0 * value for key, value in self.as_dict().items()}
+
+    def __str__(self) -> str:
+        values = self.as_percentages()
+        return f"ACC={values['acc']:.1f} NMI={values['nmi']:.1f} ARI={values['ari']:.1f}"
+
+
+def evaluate_clustering(true_labels: np.ndarray, predicted_labels: np.ndarray) -> ClusteringReport:
+    """Compute the ACC/NMI/ARI triple for a predicted partition."""
+    return ClusteringReport(
+        accuracy=clustering_accuracy(true_labels, predicted_labels),
+        nmi=normalized_mutual_information(true_labels, predicted_labels),
+        ari=adjusted_rand_index(true_labels, predicted_labels),
+    )

@@ -1,0 +1,17 @@
+"""ARVGAE (Pan et al., 2018): adversarially regularised *variational* GAE.
+
+Identical to :class:`~repro.models.argae.ARGAE` except that the encoder is
+variational (posterior mean/log-sigma heads and a KL term), matching the
+ARVGA variant of the original paper.
+"""
+
+from __future__ import annotations
+
+from repro.models.argae import ARGAE
+
+
+class ARVGAE(ARGAE):
+    """Adversarially Regularized Variational Graph Auto-Encoder."""
+
+    group = "first"
+    variational = True

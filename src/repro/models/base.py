@@ -1,0 +1,372 @@
+"""Shared infrastructure for the GAE model family.
+
+All six models of the paper share the same skeleton:
+
+* a GCN encoder (two graph-convolution layers, 32 and 16 units),
+* an inner-product decoder producing reconstruction logits ``Z Z^T``,
+* a pretraining phase that minimises the (weighted) binary cross-entropy
+  between the reconstructed and the input adjacency,
+* a clustering phase that either applies a clustering algorithm to the
+  frozen embeddings (first group) or optimises a joint clustering +
+  reconstruction objective (second group).
+
+:class:`GAEClusteringModel` captures that skeleton; concrete models override
+the encoder construction, the extra loss terms (KL, adversarial) and the
+clustering loss.  The interface is intentionally explicit about the
+self-supervision graph used for reconstruction so the R- operators can swap
+it for the clustering-oriented graph built by Υ.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.clustering.assignments import estimate_cluster_moments
+from repro.clustering.kmeans import KMeans
+from repro.graph.graph import AttributedGraph
+from repro.graph.laplacian import normalize_adjacency
+from repro.nn import functional as F
+from repro.nn.layers import GraphConvolution
+from repro.nn.module import Module
+from repro.nn.optim import Adam
+from repro.nn.tensor import Tensor, no_grad
+
+
+def reconstruction_weights(adjacency: np.ndarray) -> Tuple[float, float]:
+    """Positive-class weight and loss normalisation for a sparse adjacency.
+
+    Real graphs are extremely sparse, so the standard GAE implementation
+    re-weights positive entries by ``#neg / #pos`` and scales the mean loss
+    by ``N² / (2 #neg)``.  Both factors are recomputed whenever the
+    self-supervision graph changes (the Υ operator adds and removes edges).
+    """
+    adjacency = np.asarray(adjacency)
+    n = adjacency.shape[0]
+    positives = float(adjacency.sum())
+    total = float(n * n)
+    negatives = total - positives
+    if positives == 0.0:
+        return 1.0, 1.0
+    pos_weight = negatives / positives
+    norm = total / (2.0 * negatives) if negatives > 0 else 1.0
+    return pos_weight, norm
+
+
+class GCNEncoder(Module):
+    """Two-layer GCN encoder ``Z = GCN(GCN(X))`` (ReLU then linear)."""
+
+    def __init__(
+        self,
+        in_features: int,
+        hidden_dim: int,
+        latent_dim: int,
+        rng: np.random.Generator,
+    ) -> None:
+        super().__init__()
+        self.hidden_layer = GraphConvolution(in_features, hidden_dim, activation="relu", rng=rng)
+        self.output_layer = GraphConvolution(hidden_dim, latent_dim, activation=None, rng=rng)
+
+    def forward(self, features, adj_norm: np.ndarray) -> Tensor:
+        hidden = self.hidden_layer(features, adj_norm)
+        return self.output_layer(hidden, adj_norm)
+
+
+class VariationalGCNEncoder(Module):
+    """GCN encoder with Gaussian posterior heads (mu, log_sigma)."""
+
+    def __init__(
+        self,
+        in_features: int,
+        hidden_dim: int,
+        latent_dim: int,
+        rng: np.random.Generator,
+    ) -> None:
+        super().__init__()
+        self.hidden_layer = GraphConvolution(in_features, hidden_dim, activation="relu", rng=rng)
+        self.mu_layer = GraphConvolution(hidden_dim, latent_dim, activation=None, rng=rng)
+        self.log_sigma_layer = GraphConvolution(hidden_dim, latent_dim, activation=None, rng=rng)
+
+    def forward(self, features, adj_norm: np.ndarray) -> Tuple[Tensor, Tensor]:
+        hidden = self.hidden_layer(features, adj_norm)
+        mu = self.mu_layer(hidden, adj_norm)
+        log_sigma = self.log_sigma_layer(hidden, adj_norm)
+        # Clip log-sigma to keep exp() well behaved on small synthetic graphs.
+        return mu, log_sigma.clip(-10.0, 10.0)
+
+
+@dataclass
+class PretrainResult:
+    """History returned by :meth:`GAEClusteringModel.pretrain`."""
+
+    losses: List[float] = field(default_factory=list)
+
+    @property
+    def final_loss(self) -> float:
+        return self.losses[-1] if self.losses else float("nan")
+
+
+class GAEClusteringModel(Module):
+    """Base class of the six GAE clustering models.
+
+    Parameters
+    ----------
+    num_features:
+        Input feature dimensionality ``J``.
+    num_clusters:
+        Number of clusters ``K``.
+    hidden_dim, latent_dim:
+        Encoder layer widths (paper defaults: 32 and 16).
+    learning_rate:
+        Adam learning rate for both phases (paper default: 0.01).
+    gamma:
+        Balancing coefficient between clustering and reconstruction in the
+        second-group joint objective (Eq. 5).
+    seed:
+        Seed controlling weight init, sampling and clustering restarts.
+    """
+
+    #: "first" (separate clustering) or "second" (joint clustering).
+    group: str = "first"
+    #: whether the encoder is variational (adds a KL term and sampling).
+    variational: bool = False
+
+    def __init__(
+        self,
+        num_features: int,
+        num_clusters: int,
+        hidden_dim: int = 32,
+        latent_dim: int = 16,
+        learning_rate: float = 0.01,
+        gamma: float = 1.0,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        self.num_features = int(num_features)
+        self.num_clusters = int(num_clusters)
+        self.hidden_dim = int(hidden_dim)
+        self.latent_dim = int(latent_dim)
+        self.learning_rate = float(learning_rate)
+        self.gamma = float(gamma)
+        self.seed = int(seed)
+        self.rng = np.random.default_rng(seed)
+        self._build_encoder()
+        # Cached cluster parameters (set by init_clustering / refreshed during training).
+        self.cluster_centers_: Optional[np.ndarray] = None
+        self.cluster_variances_: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    # construction hooks
+    # ------------------------------------------------------------------
+    def _build_encoder(self) -> None:
+        if self.variational:
+            self.encoder = VariationalGCNEncoder(
+                self.num_features, self.hidden_dim, self.latent_dim, self.rng
+            )
+        else:
+            self.encoder = GCNEncoder(
+                self.num_features, self.hidden_dim, self.latent_dim, self.rng
+            )
+
+    # ------------------------------------------------------------------
+    # graph preparation
+    # ------------------------------------------------------------------
+    @staticmethod
+    def prepare_inputs(graph: AttributedGraph) -> Tuple[np.ndarray, np.ndarray]:
+        """Return (row-normalised features, GCN propagation matrix)."""
+        features = graph.row_normalized_features()
+        adj_norm = normalize_adjacency(graph.adjacency, self_loops=True)
+        return features, adj_norm
+
+    # ------------------------------------------------------------------
+    # encoding / decoding
+    # ------------------------------------------------------------------
+    def encode(self, features: np.ndarray, adj_norm: np.ndarray, sample: bool = True) -> Tensor:
+        """Latent representation tensor ``Z`` (differentiable).
+
+        Variational models return a reparameterised sample during training
+        (``sample=True``) and the posterior mean otherwise.
+        """
+        if self.variational:
+            mu, log_sigma = self.encoder(features, adj_norm)
+            self._last_mu = mu
+            self._last_log_sigma = log_sigma
+            if sample and self.training:
+                noise = Tensor(self.rng.standard_normal(mu.shape))
+                return mu + log_sigma.exp() * noise
+            return mu
+        z = self.encoder(features, adj_norm)
+        self._last_mu = z
+        self._last_log_sigma = None
+        return z
+
+    def reconstruction_logits(self, z: Tensor) -> Tensor:
+        """Decoder logits ``Z Z^T`` (apply sigmoid for probabilities)."""
+        return z @ z.T
+
+    def embed(self, graph: AttributedGraph) -> np.ndarray:
+        """Deterministic embeddings (posterior mean) as a numpy array."""
+        features, adj_norm = self.prepare_inputs(graph)
+        self.eval()
+        with no_grad():
+            z = self.encode(features, adj_norm, sample=False)
+        self.train()
+        return z.numpy().copy()
+
+    # ------------------------------------------------------------------
+    # losses
+    # ------------------------------------------------------------------
+    def reconstruction_loss(self, z: Tensor, target_adjacency: np.ndarray) -> Tensor:
+        """Weighted BCE between ``sigmoid(Z Z^T)`` and ``target_adjacency``.
+
+        The target includes self loops (as in the reference implementations)
+        and its sparsity determines the positive weight and normalisation.
+        """
+        target = np.asarray(target_adjacency, dtype=np.float64)
+        target = target + np.eye(target.shape[0])
+        np.clip(target, 0.0, 1.0, out=target)
+        pos_weight, norm = reconstruction_weights(target)
+        logits = self.reconstruction_logits(z)
+        return F.binary_cross_entropy_with_logits(logits, target, pos_weight=pos_weight, norm=norm)
+
+    def regularization_loss(self, z: Tensor) -> Optional[Tensor]:
+        """Model-specific extra loss (KL divergence, adversarial penalty).
+
+        The Gaussian KL follows the reference GAE implementation's scaling
+        (``1/N`` on top of the per-node mean); with the full-strength KL the
+        encoder collapses on small graphs.
+        """
+        if self.variational and self._last_log_sigma is not None:
+            num_nodes = self._last_mu.shape[0]
+            return F.gaussian_kl_divergence(self._last_mu, self._last_log_sigma) * (
+                1.0 / num_nodes
+            )
+        return None
+
+    def pretraining_loss(self, z: Tensor, target_adjacency: np.ndarray) -> Tensor:
+        """Reconstruction plus any regularisation (the self-supervised pretext)."""
+        loss = self.reconstruction_loss(z, target_adjacency)
+        extra = self.regularization_loss(z)
+        if extra is not None:
+            loss = loss + extra
+        return loss
+
+    def clustering_loss(self, z: Tensor, node_indices: Optional[np.ndarray] = None) -> Optional[Tensor]:
+        """Differentiable clustering loss evaluated on ``z`` (second group only).
+
+        ``node_indices`` restricts the loss to a subset of nodes — this is
+        how the sampling operator Ξ feeds only decidable nodes Ω into the
+        clustering objective.  First-group models return ``None``.
+        """
+        return None
+
+    # ------------------------------------------------------------------
+    # clustering interface
+    # ------------------------------------------------------------------
+    def init_clustering(self, embeddings: np.ndarray) -> None:
+        """Initialise cluster parameters from pretrain embeddings (k-means)."""
+        kmeans = KMeans(self.num_clusters, num_init=10, seed=self.seed).fit(embeddings)
+        centers, variances = estimate_cluster_moments(
+            embeddings, kmeans.labels_, self.num_clusters
+        )
+        self.cluster_centers_ = centers
+        self.cluster_variances_ = variances
+
+    def refresh_clustering(self, embeddings: np.ndarray) -> None:
+        """Re-estimate cluster parameters from current embeddings.
+
+        Default: one k-means-style refresh (assign to nearest centre, update
+        moments).  Second-group models override this with their own scheme
+        (trainable centres for DGAE, EM step for GMM-VGAE).
+        """
+        if self.cluster_centers_ is None:
+            self.init_clustering(embeddings)
+            return
+        assignments = self.predict_assignments(embeddings)
+        hard = np.argmax(assignments, axis=1)
+        centers, variances = estimate_cluster_moments(embeddings, hard, self.num_clusters)
+        self.cluster_centers_ = centers
+        self.cluster_variances_ = variances
+
+    def predict_assignments(self, embeddings: np.ndarray) -> np.ndarray:
+        """(N, K) clustering assignment matrix ``P`` for given embeddings.
+
+        First-group models run k-means and return one-hot hard assignments;
+        second-group models return their model-specific soft assignments.
+        """
+        kmeans = KMeans(self.num_clusters, num_init=10, seed=self.seed).fit(embeddings)
+        one_hot = np.zeros((embeddings.shape[0], self.num_clusters))
+        one_hot[np.arange(embeddings.shape[0]), kmeans.labels_] = 1.0
+        self.cluster_centers_, self.cluster_variances_ = estimate_cluster_moments(
+            embeddings, kmeans.labels_, self.num_clusters
+        )
+        return one_hot
+
+    def predict_labels(self, graph: AttributedGraph) -> np.ndarray:
+        """Hard cluster labels for every node of ``graph``."""
+        embeddings = self.embed(graph)
+        assignments = self.predict_assignments(embeddings)
+        return np.argmax(assignments, axis=1)
+
+    # ------------------------------------------------------------------
+    # training loops
+    # ------------------------------------------------------------------
+    def pretrain(
+        self,
+        graph: AttributedGraph,
+        epochs: int = 200,
+        optimizer: Optional[Adam] = None,
+        verbose: bool = False,
+    ) -> PretrainResult:
+        """Self-supervised pretraining on the raw input graph."""
+        features, adj_norm = self.prepare_inputs(graph)
+        target = graph.adjacency
+        optimizer = optimizer or Adam(self.parameters(), lr=self.learning_rate)
+        history = PretrainResult()
+        for epoch in range(epochs):
+            optimizer.zero_grad()
+            z = self.encode(features, adj_norm)
+            loss = self.pretraining_loss(z, target)
+            loss.backward()
+            self.pretrain_step_hook(z, features, adj_norm, optimizer)
+            optimizer.step()
+            history.losses.append(loss.item())
+            if verbose and epoch % 20 == 0:
+                print(f"[pretrain:{self.__class__.__name__}] epoch {epoch} loss {loss.item():.4f}")
+        return history
+
+    def pretrain_step_hook(self, z, features, adj_norm, optimizer) -> None:
+        """Hook executed after the backward pass of every pretraining step.
+
+        Adversarial models use it to train their discriminator.
+        """
+
+    def fit(
+        self,
+        graph: AttributedGraph,
+        pretrain_epochs: int = 200,
+        clustering_epochs: int = 200,
+        verbose: bool = False,
+    ) -> "GAEClusteringModel":
+        """Full training: pretraining followed by the model's clustering phase."""
+        self.pretrain(graph, epochs=pretrain_epochs, verbose=verbose)
+        self.fit_clustering(graph, epochs=clustering_epochs, verbose=verbose)
+        return self
+
+    def fit_clustering(
+        self,
+        graph: AttributedGraph,
+        epochs: int = 200,
+        verbose: bool = False,
+    ) -> Dict[str, List[float]]:
+        """Clustering phase.
+
+        First-group models do nothing here (their clustering is a separate
+        post-hoc algorithm run by :meth:`predict_labels`).  Second-group
+        models override this method with a joint optimisation loop.
+        """
+        embeddings = self.embed(graph)
+        self.init_clustering(embeddings)
+        return {"loss": []}

@@ -1,0 +1,161 @@
+"""DGAE (Discriminative Graph Auto-Encoder) — Appendix B of the paper.
+
+A second-group model introduced by the authors: a plain two-layer GCN
+auto-encoder whose clustering phase minimises
+
+``L = KL(Q || P) + gamma * L_bce(sigmoid(Z Z^T), A)``
+
+where ``P`` is the Student's t soft assignment (Eq. 20) towards trainable
+embedded centres ``mu`` (initialised with k-means) and ``Q`` is the
+DEC-style sharpened target distribution.  Defaults follow Table 10 of the
+paper (hidden 32, latent 16, Adam lr 0.01, gamma 0.001, 200 + 200 epochs).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.clustering.assignments import soft_assignment_student_t, target_distribution
+from repro.clustering.kmeans import KMeans
+from repro.models.base import GAEClusteringModel
+from repro.nn import functional as F
+from repro.nn.optim import Adam
+from repro.nn.tensor import Tensor
+
+
+class DGAE(GAEClusteringModel):
+    """Discriminative Graph Auto-Encoder with a KL(Q||P) clustering loss."""
+
+    group = "second"
+    variational = False
+
+    def __init__(
+        self,
+        num_features: int,
+        num_clusters: int,
+        hidden_dim: int = 32,
+        latent_dim: int = 16,
+        learning_rate: float = 0.01,
+        gamma: float = 0.001,
+        seed: int = 0,
+        target_refresh_interval: int = 5,
+    ) -> None:
+        super().__init__(
+            num_features=num_features,
+            num_clusters=num_clusters,
+            hidden_dim=hidden_dim,
+            latent_dim=latent_dim,
+            learning_rate=learning_rate,
+            gamma=gamma,
+            seed=seed,
+        )
+        self.target_refresh_interval = int(target_refresh_interval)
+        #: trainable embedded centres, created by :meth:`init_clustering`.
+        self.centers: Optional[Tensor] = None
+        self._target: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    # clustering parameters
+    # ------------------------------------------------------------------
+    def init_clustering(self, embeddings: np.ndarray) -> None:
+        """Initialise trainable centres with k-means on the embeddings."""
+        kmeans = KMeans(self.num_clusters, num_init=10, seed=self.seed).fit(embeddings)
+        self.centers = Tensor(kmeans.cluster_centers_.copy(), requires_grad=True)
+        self.cluster_centers_ = kmeans.cluster_centers_.copy()
+        self.cluster_variances_ = np.ones_like(kmeans.cluster_centers_)
+        self._target = target_distribution(
+            soft_assignment_student_t(embeddings, kmeans.cluster_centers_)
+        )
+
+    def refresh_clustering(self, embeddings: np.ndarray) -> None:
+        """Refresh the target distribution Q from the current assignments."""
+        if self.centers is None:
+            self.init_clustering(embeddings)
+            return
+        self.cluster_centers_ = self.centers.numpy().copy()
+        self._target = target_distribution(
+            soft_assignment_student_t(embeddings, self.cluster_centers_)
+        )
+
+    def predict_assignments(self, embeddings: np.ndarray) -> np.ndarray:
+        """Student's t soft assignments towards the current centres."""
+        if self.centers is None:
+            self.init_clustering(embeddings)
+        return soft_assignment_student_t(embeddings, self.centers.numpy())
+
+    # ------------------------------------------------------------------
+    # losses
+    # ------------------------------------------------------------------
+    def soft_assignment_tensor(self, z: Tensor) -> Tensor:
+        """Differentiable Student's t soft assignment P(Z, mu)."""
+        if self.centers is None:
+            raise RuntimeError("init_clustering must run before the clustering loss")
+        z_sq = (z * z).sum(axis=1, keepdims=True)
+        # distances through the trainable centres (kept differentiable).
+        mu_sq_t = (self.centers * self.centers).sum(axis=1).reshape(1, self.num_clusters)
+        cross = z @ self.centers.T
+        distances = z_sq + mu_sq_t - 2.0 * cross
+        scores = (distances + 1.0) ** -1.0
+        return scores / scores.sum(axis=1, keepdims=True)
+
+    def clustering_loss(self, z: Tensor, node_indices: Optional[np.ndarray] = None) -> Tensor:
+        """KL(Q || P) restricted to ``node_indices`` when provided."""
+        if self._target is None:
+            raise RuntimeError("init_clustering must run before the clustering loss")
+        return self.clustering_loss_with_target(z, self._target, node_indices)
+
+    def clustering_loss_with_target(
+        self,
+        z: Tensor,
+        target: np.ndarray,
+        node_indices: Optional[np.ndarray] = None,
+    ) -> Tensor:
+        """KL(target || P) against an arbitrary (N, K) target distribution.
+
+        Used both by the regular clustering loss (with the sharpened target
+        Q) and by the Λ_FR diagnostic (with the Hungarian-aligned oracle Q').
+        """
+        assignments = self.soft_assignment_tensor(z)
+        target = np.asarray(target, dtype=np.float64)
+        if node_indices is not None:
+            node_indices = np.asarray(node_indices, dtype=np.int64)
+            if node_indices.size == 0:
+                return Tensor(0.0)
+            assignments = assignments[node_indices]
+            target = target[node_indices]
+        count = max(target.shape[0], 1)
+        return F.kl_divergence_rows(target, assignments) * (1.0 / count)
+
+    # ------------------------------------------------------------------
+    # training loop (vanilla DGAE; the R- version is driven by RethinkTrainer)
+    # ------------------------------------------------------------------
+    def fit_clustering(
+        self,
+        graph,
+        epochs: int = 200,
+        verbose: bool = False,
+    ) -> Dict[str, List[float]]:
+        features, adj_norm = self.prepare_inputs(graph)
+        embeddings = self.embed(graph)
+        if self.centers is None:
+            self.init_clustering(embeddings)
+        optimizer = Adam(self.parameters(), lr=self.learning_rate)
+        history: Dict[str, List[float]] = {"loss": [], "clustering_loss": [], "reconstruction_loss": []}
+        for epoch in range(epochs):
+            if epoch % self.target_refresh_interval == 0:
+                self.refresh_clustering(self.embed(graph))
+            optimizer.zero_grad()
+            z = self.encode(features, adj_norm)
+            clustering = self.clustering_loss(z)
+            reconstruction = self.reconstruction_loss(z, graph.adjacency)
+            loss = clustering + reconstruction * self.gamma
+            loss.backward()
+            optimizer.step()
+            history["loss"].append(loss.item())
+            history["clustering_loss"].append(clustering.item())
+            history["reconstruction_loss"].append(reconstruction.item())
+            if verbose and epoch % 20 == 0:
+                print(f"[DGAE] epoch {epoch} loss {loss.item():.4f}")
+        return history

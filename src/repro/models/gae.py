@@ -1,0 +1,17 @@
+"""GAE (Kipf & Welling, 2016): non-variational graph auto-encoder.
+
+A first-group model: pretraining minimises adjacency reconstruction, and
+clustering is performed afterwards by running k-means on the frozen
+embeddings.
+"""
+
+from __future__ import annotations
+
+from repro.models.base import GAEClusteringModel
+
+
+class GAE(GAEClusteringModel):
+    """Graph Auto-Encoder with inner-product decoder and k-means clustering."""
+
+    group = "first"
+    variational = False

@@ -1,0 +1,56 @@
+"""Model registry: build any of the six GAE models by name."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.models.argae import ARGAE
+from repro.models.arvgae import ARVGAE
+from repro.models.base import GAEClusteringModel
+from repro.models.dgae import DGAE
+from repro.models.gae import GAE
+from repro.models.gmm_vgae import GMMVGAE
+from repro.models.vgae import VGAE
+
+MODEL_BUILDERS: Dict[str, Callable[..., GAEClusteringModel]] = {
+    "gae": GAE,
+    "vgae": VGAE,
+    "argae": ARGAE,
+    "arvgae": ARVGAE,
+    "gmm_vgae": GMMVGAE,
+    "dgae": DGAE,
+}
+
+#: the paper's first-group models (separate clustering).
+FIRST_GROUP = ["gae", "vgae", "argae", "arvgae"]
+#: the paper's second-group models (joint clustering).
+SECOND_GROUP = ["dgae", "gmm_vgae"]
+
+
+def available_models() -> List[str]:
+    """Names of all registered models."""
+    return sorted(MODEL_BUILDERS)
+
+
+def model_group(name: str) -> str:
+    """Return "first" or "second" for a registered model name."""
+    if name in FIRST_GROUP:
+        return "first"
+    if name in SECOND_GROUP:
+        return "second"
+    raise KeyError(f"unknown model {name!r}")
+
+
+def build_model(
+    name: str,
+    num_features: int,
+    num_clusters: int,
+    seed: int = 0,
+    **kwargs,
+) -> GAEClusteringModel:
+    """Instantiate a registered model with the given data dimensions."""
+    if name not in MODEL_BUILDERS:
+        raise KeyError(f"unknown model {name!r}; available: {', '.join(available_models())}")
+    return MODEL_BUILDERS[name](
+        num_features=num_features, num_clusters=num_clusters, seed=seed, **kwargs
+    )

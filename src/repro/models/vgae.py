@@ -1,0 +1,17 @@
+"""VGAE (Kipf & Welling, 2016): variational graph auto-encoder.
+
+A first-group model: the encoder parameterises a diagonal Gaussian posterior
+per node, trained with reconstruction + KL; clustering is k-means on the
+posterior means.
+"""
+
+from __future__ import annotations
+
+from repro.models.base import GAEClusteringModel
+
+
+class VGAE(GAEClusteringModel):
+    """Variational Graph Auto-Encoder with k-means clustering."""
+
+    group = "first"
+    variational = True

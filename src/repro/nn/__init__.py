@@ -1,0 +1,42 @@
+"""Minimal neural-network substrate built on numpy.
+
+This subpackage replaces the PyTorch dependency of the original R-GAE code
+base with a small, self-contained reverse-mode automatic differentiation
+engine.  It provides exactly what the paper's models need:
+
+* :class:`~repro.nn.tensor.Tensor` — an autograd-enabled array wrapper.
+* Functional ops (``relu``, ``sigmoid``, ``softplus``, reductions, matmul).
+* Layers — :class:`~repro.nn.layers.Dense`,
+  :class:`~repro.nn.layers.GraphConvolution`,
+  :class:`~repro.nn.layers.InnerProductDecoder`.
+* Optimizers — :class:`~repro.nn.optim.SGD`, :class:`~repro.nn.optim.Adam`.
+
+The engine is intentionally dense-matrix based: the paper's encoders are two
+GCN layers with 32/16 hidden units on graphs with at most a few thousand
+nodes, which fits comfortably in dense numpy arrays.
+"""
+
+from repro.nn.tensor import Tensor, no_grad
+from repro.nn import functional
+from repro.nn.module import Module, Parameter
+from repro.nn.layers import Dense, GraphConvolution, InnerProductDecoder, MLP
+from repro.nn.init import glorot_uniform, zeros, normal
+from repro.nn.optim import SGD, Adam, Optimizer
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "functional",
+    "Module",
+    "Parameter",
+    "Dense",
+    "GraphConvolution",
+    "InnerProductDecoder",
+    "MLP",
+    "glorot_uniform",
+    "zeros",
+    "normal",
+    "SGD",
+    "Adam",
+    "Optimizer",
+]

@@ -1,0 +1,172 @@
+"""Functional wrappers around :class:`~repro.nn.tensor.Tensor` operations.
+
+These mirror the ``torch.nn.functional`` style API the original code base
+uses, plus the loss functions specific to graph auto-encoders (dense binary
+cross-entropy over the reconstructed adjacency, KL terms for the variational
+models, and the KL clustering loss of DGAE).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.nn.tensor import Tensor, as_tensor
+
+ArrayOrTensor = Union[np.ndarray, Tensor]
+
+
+def relu(x: ArrayOrTensor) -> Tensor:
+    """Element-wise rectified linear unit."""
+    return as_tensor(x).relu()
+
+
+def sigmoid(x: ArrayOrTensor) -> Tensor:
+    """Element-wise logistic sigmoid."""
+    return as_tensor(x).sigmoid()
+
+
+def tanh(x: ArrayOrTensor) -> Tensor:
+    """Element-wise hyperbolic tangent."""
+    return as_tensor(x).tanh()
+
+
+def softplus(x: ArrayOrTensor) -> Tensor:
+    """Numerically stable ``log(1 + exp(x))``."""
+    return as_tensor(x).softplus()
+
+
+def exp(x: ArrayOrTensor) -> Tensor:
+    return as_tensor(x).exp()
+
+
+def log(x: ArrayOrTensor) -> Tensor:
+    return as_tensor(x).log()
+
+
+def linear(x: ArrayOrTensor, weight: Tensor, bias: Optional[Tensor] = None) -> Tensor:
+    """Affine map ``x @ weight + bias``."""
+    out = as_tensor(x) @ weight
+    if bias is not None:
+        out = out + bias
+    return out
+
+
+def dropout(x: ArrayOrTensor, rate: float, rng: np.random.Generator, training: bool = True) -> Tensor:
+    """Inverted dropout.
+
+    During evaluation (``training=False``) or with ``rate=0`` the input is
+    returned unchanged.
+    """
+    x = as_tensor(x)
+    if not training or rate <= 0.0:
+        return x
+    keep = 1.0 - rate
+    mask = (rng.random(x.shape) < keep).astype(np.float64) / keep
+    return x * mask
+
+
+def softmax(x: ArrayOrTensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``."""
+    x = as_tensor(x)
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    exps = shifted.exp()
+    return exps / exps.sum(axis=axis, keepdims=True)
+
+
+def binary_cross_entropy_with_logits(
+    logits: ArrayOrTensor,
+    targets: ArrayOrTensor,
+    pos_weight: Optional[float] = None,
+    norm: float = 1.0,
+) -> Tensor:
+    """Mean binary cross-entropy computed from logits.
+
+    This is the reconstruction loss of all GAE models: ``logits`` is the
+    dense matrix ``Z Z^T`` and ``targets`` the (possibly rewritten)
+    self-supervision adjacency matrix.  ``pos_weight`` re-weights positive
+    entries, which the original implementations use to counter the extreme
+    sparsity of real graphs.  ``norm`` is a scalar multiplier applied to the
+    final mean (the usual ``N^2 / (2 * #neg)`` normalisation).
+    """
+    logits = as_tensor(logits)
+    targets_arr = np.asarray(
+        targets.data if isinstance(targets, Tensor) else targets, dtype=np.float64
+    )
+    targets_t = Tensor(targets_arr)
+    # log(1 + exp(logits)) - targets * logits, optionally with pos_weight on
+    # the positive term: -[w*y*log(sig) + (1-y)*log(1-sig)].
+    if pos_weight is None:
+        losses = logits.softplus() - targets_t * logits
+    else:
+        w = float(pos_weight)
+        # -(w*y*log(s) + (1-y)*log(1-s))
+        #  = (1 + (w-1)*y) * softplus(logits) - w*y*logits   [derivation below]
+        # log(s) = -softplus(-x), log(1-s) = -softplus(x)
+        # loss = w*y*softplus(-x) + (1-y)*softplus(x)
+        neg_logits = -logits
+        losses = targets_t * (w * neg_logits.softplus()) + (1.0 - targets_t) * logits.softplus()
+    return losses.mean() * norm
+
+
+def binary_cross_entropy_sum(logits: ArrayOrTensor, targets: ArrayOrTensor) -> Tensor:
+    """Summed (not averaged) BCE from logits.
+
+    The theoretical decompositions in the paper (Proposition 1, Theorem 1)
+    are stated for the *sum* over all node pairs, so the analysis code uses
+    this variant.
+    """
+    logits = as_tensor(logits)
+    targets_arr = np.asarray(
+        targets.data if isinstance(targets, Tensor) else targets, dtype=np.float64
+    )
+    targets_t = Tensor(targets_arr)
+    losses = logits.softplus() - targets_t * logits
+    return losses.sum()
+
+
+def gaussian_kl_divergence(mu: Tensor, log_sigma: Tensor) -> Tensor:
+    """KL( N(mu, sigma^2) || N(0, I) ) averaged over nodes.
+
+    Used by VGAE-style models; ``log_sigma`` holds log standard deviations.
+    """
+    n = mu.shape[0]
+    term = 1.0 + 2.0 * log_sigma - mu * mu - (2.0 * log_sigma).exp()
+    return term.sum() * (-0.5 / n)
+
+
+def kl_divergence_rows(p: ArrayOrTensor, q: ArrayOrTensor, eps: float = 1e-12) -> Tensor:
+    """Row-wise ``KL(p || q)`` summed over all rows.
+
+    Both arguments are (N, K) row-stochastic matrices.  This is the DGAE
+    clustering loss ``KL(Q || P)`` of Appendix B when called as
+    ``kl_divergence_rows(target, soft_assignment)``.
+    """
+    p = as_tensor(p)
+    q = as_tensor(q)
+    p_safe = p + eps
+    q_safe = q + eps
+    return (p * (p_safe.log() - q_safe.log())).sum()
+
+
+def mean_squared_error(pred: ArrayOrTensor, target: ArrayOrTensor) -> Tensor:
+    """Mean squared error between two arrays."""
+    pred = as_tensor(pred)
+    target_t = as_tensor(target).detach()
+    diff = pred - target_t
+    return (diff * diff).mean()
+
+
+def frobenius_norm_squared(x: ArrayOrTensor) -> Tensor:
+    """Squared Frobenius norm of a matrix."""
+    x = as_tensor(x)
+    return (x * x).sum()
+
+
+def pairwise_squared_distances(z: np.ndarray) -> np.ndarray:
+    """Dense (N, N) matrix of squared Euclidean distances (numpy only)."""
+    sq = np.sum(z ** 2, axis=1)
+    d2 = sq[:, None] + sq[None, :] - 2.0 * z @ z.T
+    np.maximum(d2, 0.0, out=d2)
+    return d2

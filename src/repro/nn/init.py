@@ -1,0 +1,24 @@
+"""Weight initialisation schemes used by the GAE model family."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+
+def glorot_uniform(fan_in: int, fan_out: int, rng: np.random.Generator) -> Tensor:
+    """Glorot/Xavier uniform initialisation, as in Kipf & Welling's GAE code."""
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    data = rng.uniform(-limit, limit, size=(fan_in, fan_out))
+    return Tensor(data, requires_grad=True)
+
+
+def zeros(*shape: int) -> Tensor:
+    """Zero-initialised trainable tensor (used for biases)."""
+    return Tensor(np.zeros(shape), requires_grad=True)
+
+
+def normal(shape, scale: float, rng: np.random.Generator) -> Tensor:
+    """Gaussian initialisation with standard deviation ``scale``."""
+    return Tensor(rng.normal(0.0, scale, size=shape), requires_grad=True)

@@ -1,0 +1,146 @@
+"""Module base class: parameter registration and traversal."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List
+
+import numpy as np
+
+from repro.nn.tensor import Tensor, stack_gradients, stack_parameters
+
+# A Parameter is simply a Tensor with requires_grad=True; the alias makes
+# intent explicit at construction sites.
+Parameter = Tensor
+
+
+class Module:
+    """Base class for layers and models.
+
+    Sub-modules and parameters assigned as attributes are discovered
+    automatically, mirroring the ``torch.nn.Module`` contract closely enough
+    for the needs of this code base.
+    """
+
+    def __init__(self) -> None:
+        self.training = True
+
+    # ------------------------------------------------------------------
+    # parameter traversal
+    # ------------------------------------------------------------------
+    def parameters(self) -> List[Tensor]:
+        """Return all trainable tensors reachable from this module."""
+        found: List[Tensor] = []
+        seen = set()
+        self._collect_parameters(found, seen)
+        return found
+
+    def _collect_parameters(self, found: List[Tensor], seen: set) -> None:
+        for value in self.__dict__.values():
+            self._collect_from_value(value, found, seen)
+
+    def _collect_from_value(self, value, found: List[Tensor], seen: set) -> None:
+        if isinstance(value, Tensor):
+            if value.requires_grad and id(value) not in seen:
+                seen.add(id(value))
+                found.append(value)
+        elif isinstance(value, Module):
+            value._collect_parameters(found, seen)
+        elif isinstance(value, (list, tuple)):
+            for item in value:
+                self._collect_from_value(item, found, seen)
+        elif isinstance(value, dict):
+            for item in value.values():
+                self._collect_from_value(item, found, seen)
+
+    def named_parameters(self) -> Dict[str, Tensor]:
+        """Return a flat ``{attribute_path: tensor}`` mapping."""
+        named: Dict[str, Tensor] = {}
+        self._collect_named(named, prefix="")
+        return named
+
+    def _collect_named(self, named: Dict[str, Tensor], prefix: str) -> None:
+        for key, value in self.__dict__.items():
+            path = f"{prefix}{key}"
+            if isinstance(value, Tensor) and value.requires_grad:
+                named[path] = value
+            elif isinstance(value, Module):
+                value._collect_named(named, prefix=f"{path}.")
+            elif isinstance(value, (list, tuple)):
+                for index, item in enumerate(value):
+                    if isinstance(item, Tensor) and item.requires_grad:
+                        named[f"{path}.{index}"] = item
+                    elif isinstance(item, Module):
+                        item._collect_named(named, prefix=f"{path}.{index}.")
+
+    # ------------------------------------------------------------------
+    # gradient helpers
+    # ------------------------------------------------------------------
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.zero_grad()
+
+    def parameter_vector(self) -> np.ndarray:
+        """Concatenate all parameter values into one flat vector."""
+        return stack_parameters(self.parameters())
+
+    def gradient_vector(self) -> np.ndarray:
+        """Concatenate all parameter gradients into one flat vector."""
+        return stack_gradients(self.parameters())
+
+    def load_parameter_vector(self, vector: np.ndarray) -> None:
+        """Load parameter values from a flat vector (inverse of parameter_vector)."""
+        offset = 0
+        for param in self.parameters():
+            size = param.data.size
+            param.data = vector[offset : offset + size].reshape(param.data.shape).copy()
+            offset += size
+        if offset != vector.size:
+            raise ValueError(
+                f"vector has {vector.size} entries but module holds {offset} parameters"
+            )
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Copy of every named parameter's value."""
+        return {name: param.data.copy() for name, param in self.named_parameters().items()}
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        """Load values produced by :meth:`state_dict`."""
+        named = self.named_parameters()
+        missing = set(named) - set(state)
+        if missing:
+            raise KeyError(f"state dict is missing parameters: {sorted(missing)}")
+        for name, param in named.items():
+            value = np.asarray(state[name], dtype=np.float64)
+            if value.shape != param.data.shape:
+                raise ValueError(
+                    f"shape mismatch for {name}: {value.shape} vs {param.data.shape}"
+                )
+            param.data = value.copy()
+
+    # ------------------------------------------------------------------
+    # train / eval switches
+    # ------------------------------------------------------------------
+    def train(self) -> "Module":
+        self._set_mode(True)
+        return self
+
+    def eval(self) -> "Module":
+        self._set_mode(False)
+        return self
+
+    def _set_mode(self, training: bool) -> None:
+        self.training = training
+        for value in self.__dict__.values():
+            if isinstance(value, Module):
+                value._set_mode(training)
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Module):
+                        item._set_mode(training)
+
+    # ------------------------------------------------------------------
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def forward(self, *args, **kwargs):  # pragma: no cover - abstract
+        raise NotImplementedError

@@ -1,0 +1,98 @@
+"""Gradient-descent optimizers.
+
+Both GAE pretraining and the clustering phase of every model in the paper
+use Adam with learning rate 0.01; SGD is provided for ablations and tests.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+
+class Optimizer:
+    """Base optimizer operating on a fixed list of parameters."""
+
+    def __init__(self, parameters: Iterable[Tensor]) -> None:
+        self.parameters: List[Tensor] = list(parameters)
+        if not self.parameters:
+            raise ValueError("optimizer received no parameters")
+
+    def zero_grad(self) -> None:
+        for param in self.parameters:
+            param.zero_grad()
+
+    def step(self) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum."""
+
+    def __init__(
+        self,
+        parameters: Iterable[Tensor],
+        lr: float = 0.01,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(parameters)
+        self.lr = float(lr)
+        self.momentum = float(momentum)
+        self.weight_decay = float(weight_decay)
+        self._velocity: Optional[List[np.ndarray]] = None
+        if self.momentum > 0.0:
+            self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        for index, param in enumerate(self.parameters):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay > 0.0:
+                grad = grad + self.weight_decay * param.data
+            if self._velocity is not None:
+                self._velocity[index] = self.momentum * self._velocity[index] - self.lr * grad
+                param.data = param.data + self._velocity[index]
+            else:
+                param.data = param.data - self.lr * grad
+
+
+class Adam(Optimizer):
+    """Adam optimizer (Kingma & Ba, 2015)."""
+
+    def __init__(
+        self,
+        parameters: Iterable[Tensor],
+        lr: float = 0.01,
+        betas: tuple = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(parameters)
+        self.lr = float(lr)
+        self.beta1, self.beta2 = betas
+        self.eps = float(eps)
+        self.weight_decay = float(weight_decay)
+        self._step_count = 0
+        self._m = [np.zeros_like(p.data) for p in self.parameters]
+        self._v = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        self._step_count += 1
+        bias1 = 1.0 - self.beta1 ** self._step_count
+        bias2 = 1.0 - self.beta2 ** self._step_count
+        for index, param in enumerate(self.parameters):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay > 0.0:
+                grad = grad + self.weight_decay * param.data
+            self._m[index] = self.beta1 * self._m[index] + (1.0 - self.beta1) * grad
+            self._v[index] = self.beta2 * self._v[index] + (1.0 - self.beta2) * grad ** 2
+            m_hat = self._m[index] / bias1
+            v_hat = self._v[index] / bias2
+            param.data = param.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)

@@ -1,0 +1,77 @@
+"""Shared fixtures: small synthetic graphs and pretrained tiny models.
+
+Everything here is deliberately tiny (tens of nodes, a handful of epochs) so
+the full test suite stays fast while still exercising the real code paths.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import attributed_sbm_graph
+from repro.models import build_model
+
+
+def make_tiny_graph(seed: int = 0, num_nodes: int = 90, num_clusters: int = 3):
+    """A small, well-separated attributed SBM graph used across the suite."""
+    proportions = [1.0 / num_clusters] * num_clusters
+    return attributed_sbm_graph(
+        num_nodes=num_nodes,
+        proportions=proportions,
+        p_intra=0.25,
+        p_inter=0.02,
+        num_features=40,
+        active_per_class=8,
+        signal=0.4,
+        noise=0.02,
+        seed=seed,
+        name="tiny",
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_graph():
+    """Session-scoped tiny attributed graph (90 nodes, 3 clusters)."""
+    return make_tiny_graph()
+
+
+@pytest.fixture(scope="session")
+def tiny_hard_graph():
+    """A noisier tiny graph where clustering is genuinely ambiguous."""
+    return attributed_sbm_graph(
+        num_nodes=90,
+        proportions=[0.4, 0.35, 0.25],
+        p_intra=0.12,
+        p_inter=0.05,
+        num_features=40,
+        active_per_class=8,
+        signal=0.15,
+        noise=0.05,
+        seed=7,
+        name="tiny_hard",
+    )
+
+
+@pytest.fixture(scope="session")
+def pretrained_dgae(tiny_graph):
+    """A DGAE pretrained for a few epochs on the tiny graph (session cached)."""
+    model = build_model("dgae", tiny_graph.num_features, tiny_graph.num_clusters, seed=0)
+    model.pretrain(tiny_graph, epochs=25)
+    model.init_clustering(model.embed(tiny_graph))
+    return model
+
+
+@pytest.fixture(scope="session")
+def pretrained_gmm_vgae(tiny_graph):
+    """A GMM-VGAE pretrained for a few epochs on the tiny graph (session cached)."""
+    model = build_model("gmm_vgae", tiny_graph.num_features, tiny_graph.num_clusters, seed=0)
+    model.pretrain(tiny_graph, epochs=25)
+    model.init_clustering(model.embed(tiny_graph))
+    return model
+
+
+@pytest.fixture()
+def rng():
+    """Fresh deterministic random generator per test."""
+    return np.random.default_rng(12345)

@@ -1,0 +1,192 @@
+"""Tests for the non-GAE baselines and the experiment harness."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import available_baselines, build_baseline
+from repro.experiments import (
+    ExperimentConfig,
+    aggregate_reports,
+    edge_addition_study,
+    edge_operation_ablation,
+    format_mean_std_table,
+    format_table,
+    gamma_sensitivity_study,
+    learning_dynamics_study,
+    protection_vs_correction_fd,
+    protection_vs_correction_fr,
+    rethink_hyperparameters,
+    run_model_pair,
+    runtime_comparison,
+    threshold_ablation,
+    threshold_sensitivity_study,
+)
+from repro.experiments.tables import format_simple_table
+from repro.metrics import clustering_accuracy
+from repro.metrics.report import ClusteringReport
+
+
+TINY_CONFIG = ExperimentConfig(
+    pretrain_epochs=12, clustering_epochs=8, rethink_epochs=10, num_trials=1
+)
+
+
+class TestBaselines:
+    def test_four_baselines_registered(self):
+        assert set(available_baselines()) == {"tadw", "mgae", "agc", "age"}
+
+    def test_unknown_baseline_raises(self):
+        with pytest.raises(KeyError):
+            build_baseline("dec", 3)
+
+    @pytest.mark.parametrize("name", ["tadw", "mgae", "agc", "age"])
+    def test_baselines_beat_random_on_easy_graph(self, name, tiny_graph):
+        labels = build_baseline(name, tiny_graph.num_clusters, seed=0).fit_predict(tiny_graph)
+        assert labels.shape == (tiny_graph.num_nodes,)
+        assert set(np.unique(labels)).issubset(set(range(tiny_graph.num_clusters)))
+        # Random accuracy for 3 roughly balanced clusters is about 0.4.
+        assert clustering_accuracy(tiny_graph.labels, labels) > 0.45
+
+    def test_agc_selects_an_order(self, tiny_graph):
+        baseline = build_baseline("agc", tiny_graph.num_clusters, seed=0)
+        baseline.fit_predict(tiny_graph)
+        assert baseline.selected_order_ >= 1
+
+    def test_tadw_embedding_shape(self, tiny_graph):
+        baseline = build_baseline("tadw", tiny_graph.num_clusters, seed=0, embedding_dim=16)
+        baseline.fit(tiny_graph)
+        assert baseline.embedding_.shape[0] == tiny_graph.num_nodes
+
+    def test_age_embedding_available_after_fit(self, tiny_graph):
+        baseline = build_baseline("age", tiny_graph.num_clusters, seed=0)
+        baseline.fit(tiny_graph)
+        assert baseline.embedding_ is not None
+
+
+class TestExperimentConfig:
+    def test_presets(self):
+        assert ExperimentConfig.fast().pretrain_epochs < ExperimentConfig.paper().pretrain_epochs
+        assert ExperimentConfig.paper().pretrain_epochs == 200
+
+    def test_with_trials(self):
+        assert ExperimentConfig().with_trials(5).num_trials == 5
+
+    def test_rethink_hyperparameters_known_pair(self):
+        hyper = rethink_hyperparameters("cora_sim", "dgae")
+        assert hyper["alpha1"] == pytest.approx(0.3)
+        assert hyper["update_omega_every"] == 20
+
+    def test_rethink_hyperparameters_fallback(self):
+        hyper = rethink_hyperparameters("my_dataset", "my_model")
+        assert set(hyper) == {"alpha1", "update_omega_every", "update_graph_every"}
+
+
+class TestAggregationAndTables:
+    def test_aggregate_reports(self):
+        reports = [
+            ClusteringReport(accuracy=0.6, nmi=0.5, ari=0.4),
+            ClusteringReport(accuracy=0.8, nmi=0.7, ari=0.6),
+        ]
+        stats = aggregate_reports(reports)
+        assert stats["acc"]["mean"] == pytest.approx(0.7)
+        assert stats["nmi"]["std"] == pytest.approx(0.1)
+
+    def test_aggregate_empty_raises(self):
+        with pytest.raises(ValueError):
+            aggregate_reports([])
+
+    def test_format_table_contains_values(self):
+        rows = {"GAE": {"cora_sim": {"acc": 0.613, "nmi": 0.444, "ari": 0.381}}}
+        table = format_table(rows, ["cora_sim"], title="Table 1")
+        assert "Table 1" in table and "61.3" in table and "GAE" in table
+
+    def test_format_table_missing_value_dash(self):
+        rows = {"GAE": {"cora_sim": {"acc": 0.5}}}
+        table = format_table(rows, ["cora_sim", "citeseer_sim"])
+        assert "--" in table
+
+    def test_format_mean_std_table(self):
+        rows = {"GAE": {"cora_sim": {"acc": {"mean": 0.556, "std": 0.049}}}}
+        table = format_mean_std_table(rows, ["cora_sim"], metrics=("acc",))
+        assert "55.6 ± 4.9" in table
+
+    def test_format_simple_table(self):
+        table = format_simple_table(
+            [{"case": "no ablation", "acc": 0.767}], columns=["case", "acc"], title="T"
+        )
+        assert "no ablation" in table and "0.767" in table
+
+
+@pytest.mark.slow
+class TestRunnersIntegration:
+    """Integration tests over tiny budgets (each runs a handful of epochs)."""
+
+    def test_run_model_pair_structure(self):
+        pair = run_model_pair("dgae", "brazil_air_sim", config=TINY_CONFIG)
+        assert len(pair.base_trials) == 1 and len(pair.rethink_trials) == 1
+        best = pair.best("base")
+        assert 0.0 <= best.accuracy <= 1.0
+        stats = pair.mean_std("rethink")
+        assert "acc" in stats
+
+    def test_protection_vs_correction_fr(self, tiny_graph):
+        rows = protection_vs_correction_fr("dgae", tiny_graph, delays=(0, 5), config=TINY_CONFIG)
+        assert rows[0]["mechanism"] == "protection"
+        assert rows[1]["mechanism"] == "correction"
+        assert all("acc" in row for row in rows)
+
+    def test_protection_vs_correction_fd(self, tiny_graph):
+        rows = protection_vs_correction_fd("dgae", tiny_graph, config=TINY_CONFIG)
+        assert {row["mechanism"] for row in rows} == {"protection", "correction"}
+
+    def test_threshold_ablation_cases(self, tiny_graph):
+        rows = threshold_ablation("dgae", tiny_graph, config=TINY_CONFIG)
+        assert len(rows) == 4
+        assert {row["case"] for row in rows} == {
+            "ablation of alpha2",
+            "ablation of alpha1",
+            "ablation of both",
+            "no ablation",
+        }
+
+    def test_edge_operation_ablation_cases(self, tiny_graph):
+        rows = edge_operation_ablation("dgae", tiny_graph, config=TINY_CONFIG)
+        assert len(rows) == 4
+
+    def test_runtime_comparison_structure(self, tiny_graph):
+        timings = runtime_comparison("dgae", tiny_graph, config=TINY_CONFIG, num_runs=1)
+        assert set(timings) == {"base", "rethink"}
+        for stats in timings.values():
+            assert stats["best"] > 0.0 and stats["mean"] >= stats["best"]
+
+    def test_edge_addition_study(self, tiny_graph):
+        rows = edge_addition_study(
+            "dgae", tiny_graph, num_edges_levels=(0, 30), config=TINY_CONFIG
+        )
+        assert len(rows) == 2
+        assert all({"base", "rethink", "level"} <= set(row) for row in rows)
+
+    def test_threshold_sensitivity_grid(self, tiny_graph):
+        rows = threshold_sensitivity_study(
+            "dgae",
+            tiny_graph,
+            alpha1_values=(0.2,),
+            alpha2_values=(0.1,),
+            config=TINY_CONFIG,
+        )
+        assert len(rows) == 1 and "final_coverage" in rows[0]
+
+    def test_gamma_sensitivity(self, tiny_graph):
+        rows = gamma_sensitivity_study(
+            "dgae", tiny_graph, gamma_values=(0.001, 1.0), config=TINY_CONFIG
+        )
+        assert len(rows) == 2 and all("base" in row and "rethink" in row for row in rows)
+
+    def test_learning_dynamics_study(self, tiny_graph):
+        result = learning_dynamics_study("dgae", tiny_graph, config=TINY_CONFIG, snapshot_every=5)
+        history = result["history"]
+        assert len(history.omega_coverage) > 0
+        assert result["final_report"] is not None
+        assert all("num_edges" in info for info in result["graph_snapshot_summary"].values())

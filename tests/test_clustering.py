@@ -1,0 +1,179 @@
+"""Tests for k-means, the Gaussian mixture model and assignment utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.clustering import (
+    GaussianMixture,
+    KMeans,
+    hard_to_one_hot,
+    kmeans_plus_plus_init,
+    soft_assignment_gaussian,
+    soft_assignment_student_t,
+    soften_assignments,
+    target_distribution,
+)
+from repro.clustering.assignments import estimate_cluster_moments
+from repro.metrics import clustering_accuracy
+
+
+def make_blobs(rng, num_per_cluster=40, separation=6.0, dim=4, num_clusters=3):
+    """Well-separated Gaussian blobs with ground-truth labels."""
+    centers = rng.normal(0.0, 1.0, size=(num_clusters, dim)) * separation
+    points = []
+    labels = []
+    for index, center in enumerate(centers):
+        points.append(center + rng.normal(0.0, 0.5, size=(num_per_cluster, dim)))
+        labels.extend([index] * num_per_cluster)
+    return np.concatenate(points), np.array(labels)
+
+
+class TestKMeans:
+    def test_recovers_separated_blobs(self, rng):
+        data, labels = make_blobs(rng)
+        predicted = KMeans(3, seed=0).fit_predict(data)
+        assert clustering_accuracy(labels, predicted) > 0.98
+
+    def test_inertia_decreases_with_more_clusters(self, rng):
+        data, _ = make_blobs(rng)
+        inertia_2 = KMeans(2, seed=0).fit(data).inertia_
+        inertia_4 = KMeans(4, seed=0).fit(data).inertia_
+        assert inertia_4 < inertia_2
+
+    def test_predict_assigns_to_nearest_center(self, rng):
+        data, _ = make_blobs(rng)
+        model = KMeans(3, seed=0).fit(data)
+        predictions = model.predict(model.cluster_centers_)
+        assert sorted(predictions.tolist()) == [0, 1, 2]
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            KMeans(2).predict(np.zeros((3, 2)))
+
+    def test_more_clusters_than_points_raises(self):
+        with pytest.raises(ValueError):
+            kmeans_plus_plus_init(np.zeros((2, 2)), 5, np.random.default_rng(0))
+
+    def test_invalid_cluster_count(self):
+        with pytest.raises(ValueError):
+            KMeans(0)
+
+    def test_handles_duplicate_points(self):
+        data = np.ones((10, 3))
+        labels = KMeans(2, seed=0, num_init=2).fit_predict(data)
+        assert labels.shape == (10,)
+
+    def test_deterministic_for_fixed_seed(self, rng):
+        data, _ = make_blobs(rng)
+        a = KMeans(3, seed=5).fit_predict(data)
+        b = KMeans(3, seed=5).fit_predict(data)
+        np.testing.assert_array_equal(a, b)
+
+    def test_plus_plus_spreads_centers(self, rng):
+        data, _ = make_blobs(rng, separation=10.0)
+        centers = kmeans_plus_plus_init(data, 3, rng)
+        distances = np.linalg.norm(centers[:, None] - centers[None, :], axis=-1)
+        off_diag = distances[~np.eye(3, dtype=bool)]
+        assert off_diag.min() > 1.0
+
+
+class TestGaussianMixture:
+    def test_recovers_separated_blobs(self, rng):
+        data, labels = make_blobs(rng)
+        predicted = GaussianMixture(3, seed=0).fit_predict(data)
+        assert clustering_accuracy(labels, predicted) > 0.98
+
+    def test_responsibilities_are_row_stochastic(self, rng):
+        data, _ = make_blobs(rng)
+        mixture = GaussianMixture(3, seed=0).fit(data)
+        np.testing.assert_allclose(mixture.responsibilities_.sum(axis=1), 1.0, atol=1e-9)
+
+    def test_weights_sum_to_one(self, rng):
+        data, _ = make_blobs(rng)
+        mixture = GaussianMixture(3, seed=0).fit(data)
+        assert mixture.weights_.sum() == pytest.approx(1.0)
+
+    def test_variances_positive(self, rng):
+        data, _ = make_blobs(rng)
+        mixture = GaussianMixture(3, seed=0).fit(data)
+        assert np.all(mixture.variances_ > 0.0)
+
+    def test_predict_proba_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            GaussianMixture(2).predict_proba(np.zeros((3, 2)))
+
+    def test_log_likelihood_improves_over_kmeans_init(self, rng):
+        data, _ = make_blobs(rng, separation=2.0)
+        short = GaussianMixture(3, max_iter=1, seed=0).fit(data)
+        long = GaussianMixture(3, max_iter=50, seed=0).fit(data)
+        assert long.log_likelihood_ >= short.log_likelihood_ - 1e-6
+
+
+class TestAssignments:
+    def test_hard_to_one_hot(self):
+        one_hot = hard_to_one_hot(np.array([0, 2, 1]), num_clusters=3)
+        np.testing.assert_allclose(one_hot, np.eye(3)[[0, 2, 1]])
+
+    def test_soft_gaussian_row_stochastic(self, rng):
+        z = rng.normal(size=(20, 4))
+        centers = rng.normal(size=(3, 4))
+        soft = soft_assignment_gaussian(z, centers)
+        np.testing.assert_allclose(soft.sum(axis=1), 1.0, atol=1e-9)
+
+    def test_soft_gaussian_prefers_nearest_center(self, rng):
+        centers = np.array([[0.0, 0.0], [10.0, 10.0]])
+        z = np.array([[0.1, -0.1], [9.8, 10.2]])
+        soft = soft_assignment_gaussian(z, centers)
+        assert soft[0, 0] > 0.9 and soft[1, 1] > 0.9
+
+    def test_soft_gaussian_temperature_flattens(self, rng):
+        centers = np.array([[0.0, 0.0], [4.0, 4.0]])
+        z = np.array([[1.0, 1.0]])
+        sharp = soft_assignment_gaussian(z, centers, temperature=1.0)
+        flat = soft_assignment_gaussian(z, centers, temperature=50.0)
+        assert flat.max() < sharp.max()
+
+    def test_soft_gaussian_rejects_bad_temperature(self, rng):
+        with pytest.raises(ValueError):
+            soft_assignment_gaussian(rng.normal(size=(3, 2)), rng.normal(size=(2, 2)), temperature=0.0)
+
+    def test_student_t_row_stochastic_and_ordering(self, rng):
+        centers = np.array([[0.0, 0.0], [5.0, 5.0]])
+        z = np.array([[0.2, 0.0], [5.1, 4.9]])
+        soft = soft_assignment_student_t(z, centers)
+        np.testing.assert_allclose(soft.sum(axis=1), 1.0, atol=1e-9)
+        assert soft[0, 0] > soft[0, 1] and soft[1, 1] > soft[1, 0]
+
+    def test_target_distribution_sharpens(self, rng):
+        soft = np.array([[0.6, 0.4], [0.55, 0.45]])
+        target = target_distribution(soft)
+        np.testing.assert_allclose(target.sum(axis=1), 1.0, atol=1e-9)
+        assert target[0, 0] > soft[0, 0]
+
+    def test_soften_assignments_passthrough_for_soft_input(self, rng):
+        soft = rng.random((10, 3))
+        soft /= soft.sum(axis=1, keepdims=True)
+        out = soften_assignments(soft, rng.normal(size=(10, 4)))
+        np.testing.assert_allclose(out, soft)
+
+    def test_soften_assignments_converts_hard_input(self, rng):
+        data, labels = make_blobs(rng)
+        hard = hard_to_one_hot(labels)
+        soft = soften_assignments(hard, data)
+        np.testing.assert_allclose(soft.sum(axis=1), 1.0, atol=1e-9)
+        assert np.any((soft > 0.0) & (soft < 1.0))
+        # argmax preserved for well separated blobs
+        assert clustering_accuracy(labels, np.argmax(soft, axis=1)) > 0.98
+
+    def test_soften_assignments_rejects_1d(self, rng):
+        with pytest.raises(ValueError):
+            soften_assignments(np.array([0, 1, 1]), rng.normal(size=(3, 2)))
+
+    def test_estimate_cluster_moments_handles_empty_cluster(self, rng):
+        embeddings = rng.normal(size=(10, 3))
+        labels = np.zeros(10, dtype=int)  # cluster 1 and 2 empty
+        centers, variances = estimate_cluster_moments(embeddings, labels, 3)
+        assert centers.shape == (3, 3) and variances.shape == (3, 3)
+        assert np.all(np.isfinite(centers)) and np.all(variances > 0)

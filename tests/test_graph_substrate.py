@@ -1,0 +1,316 @@
+"""Tests for the graph container, normalisation, generators, edits, stats and IO."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    AttributedGraph,
+    add_feature_noise,
+    add_random_edges,
+    add_self_loops,
+    attributed_sbm_graph,
+    degree_corrected_sbm,
+    degree_matrix,
+    degree_vector,
+    density,
+    drop_random_edges,
+    drop_random_features,
+    edge_count,
+    edge_difference,
+    graph_laplacian,
+    homophily,
+    laplacian_quadratic_form,
+    load_graph_npz,
+    normalize_adjacency,
+    planted_partition_features,
+    save_graph_npz,
+    star_subgraph_count,
+    stochastic_block_model,
+    connected_components,
+)
+from repro.graph.stats import describe
+
+
+class TestAttributedGraph:
+    def test_basic_properties(self, tiny_graph):
+        assert tiny_graph.num_nodes == 90
+        assert tiny_graph.num_features == 40
+        assert tiny_graph.num_clusters == 3
+        assert tiny_graph.num_edges == edge_count(tiny_graph.adjacency)
+
+    def test_rejects_asymmetric_adjacency(self):
+        adjacency = np.zeros((3, 3))
+        adjacency[0, 1] = 1.0
+        with pytest.raises(ValueError):
+            AttributedGraph(adjacency, np.zeros((3, 2)))
+
+    def test_rejects_self_loops(self):
+        adjacency = np.eye(3)
+        with pytest.raises(ValueError):
+            AttributedGraph(adjacency, np.zeros((3, 2)))
+
+    def test_rejects_non_binary(self):
+        adjacency = np.zeros((3, 3))
+        adjacency[0, 1] = adjacency[1, 0] = 0.5
+        with pytest.raises(ValueError):
+            AttributedGraph(adjacency, np.zeros((3, 2)))
+
+    def test_rejects_feature_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            AttributedGraph(np.zeros((3, 3)), np.zeros((4, 2)))
+
+    def test_rejects_label_length_mismatch(self):
+        with pytest.raises(ValueError):
+            AttributedGraph(np.zeros((3, 3)), np.zeros((3, 2)), labels=np.zeros(4, dtype=int))
+
+    def test_num_clusters_from_metadata(self):
+        graph = AttributedGraph(np.zeros((3, 3)), np.zeros((3, 2)), metadata={"num_clusters": 5})
+        assert graph.num_clusters == 5
+
+    def test_num_clusters_without_info_raises(self):
+        graph = AttributedGraph(np.zeros((3, 3)), np.zeros((3, 2)))
+        with pytest.raises(ValueError):
+            graph.num_clusters
+
+    def test_copy_is_independent(self, tiny_graph):
+        clone = tiny_graph.copy()
+        clone.adjacency[0, 1] = 1.0 - clone.adjacency[0, 1]
+        assert clone.adjacency[0, 1] != tiny_graph.adjacency[0, 1]
+
+    def test_with_adjacency_keeps_features(self, tiny_graph):
+        new_adj = np.zeros_like(tiny_graph.adjacency)
+        modified = tiny_graph.with_adjacency(new_adj)
+        assert modified.num_edges == 0
+        np.testing.assert_allclose(modified.features, tiny_graph.features)
+
+    def test_neighbors_and_edge_list_consistent(self, tiny_graph):
+        edges = tiny_graph.edge_list()
+        assert edges.shape[1] == 2
+        node = int(edges[0, 0])
+        assert edges[0, 1] in tiny_graph.neighbors(node)
+
+    def test_row_normalized_features_unit_norm(self, tiny_graph):
+        normalized = tiny_graph.row_normalized_features()
+        norms = np.linalg.norm(normalized, axis=1)
+        nonzero = np.linalg.norm(tiny_graph.features, axis=1) > 0
+        np.testing.assert_allclose(norms[nonzero], 1.0, atol=1e-9)
+
+
+class TestLaplacian:
+    def test_degree_vector_matches_row_sums(self, tiny_graph):
+        np.testing.assert_allclose(
+            degree_vector(tiny_graph.adjacency), tiny_graph.adjacency.sum(axis=1)
+        )
+
+    def test_degree_matrix_is_diagonal(self, tiny_graph):
+        matrix = degree_matrix(tiny_graph.adjacency)
+        assert np.count_nonzero(matrix - np.diag(np.diag(matrix))) == 0
+
+    def test_add_self_loops(self):
+        adjacency = np.zeros((3, 3))
+        np.testing.assert_allclose(np.diag(add_self_loops(adjacency)), 1.0)
+
+    def test_normalized_adjacency_symmetric(self, tiny_graph):
+        norm = normalize_adjacency(tiny_graph.adjacency)
+        np.testing.assert_allclose(norm, norm.T, atol=1e-12)
+
+    def test_normalized_adjacency_spectral_radius_at_most_one(self, tiny_graph):
+        norm = normalize_adjacency(tiny_graph.adjacency, self_loops=True)
+        eigenvalues = np.linalg.eigvalsh(norm)
+        assert eigenvalues.max() <= 1.0 + 1e-9
+
+    def test_normalized_adjacency_handles_isolated_nodes(self):
+        adjacency = np.zeros((4, 4))
+        adjacency[0, 1] = adjacency[1, 0] = 1.0
+        norm = normalize_adjacency(adjacency, self_loops=False)
+        assert np.all(np.isfinite(norm))
+        assert norm[2].sum() == 0.0
+
+    def test_laplacian_row_sums_zero(self, tiny_graph):
+        lap = graph_laplacian(tiny_graph.adjacency)
+        np.testing.assert_allclose(lap.sum(axis=1), 0.0, atol=1e-9)
+
+    def test_laplacian_quadratic_form_matches_direct_sum(self, rng):
+        z = rng.normal(size=(8, 3))
+        a = (rng.random((8, 8)) > 0.6).astype(float)
+        a = np.triu(a, 1)
+        a = a + a.T
+        direct = 0.5 * sum(
+            a[i, j] * np.sum((z[i] - z[j]) ** 2) for i in range(8) for j in range(8)
+        )
+        assert laplacian_quadratic_form(z, a) == pytest.approx(direct)
+
+    def test_laplacian_quadratic_form_zero_for_identical_embeddings(self):
+        z = np.ones((5, 2))
+        a = np.ones((5, 5)) - np.eye(5)
+        assert laplacian_quadratic_form(z, a) == pytest.approx(0.0)
+
+    def test_laplacian_quadratic_form_asymmetric_weights(self, rng):
+        z = rng.normal(size=(5, 2))
+        a = rng.random((5, 5))
+        direct = 0.5 * sum(
+            a[i, j] * np.sum((z[i] - z[j]) ** 2) for i in range(5) for j in range(5)
+        )
+        assert laplacian_quadratic_form(z, a) == pytest.approx(direct)
+
+
+class TestGenerators:
+    def test_sbm_shapes_and_labels(self, rng):
+        adjacency, labels = stochastic_block_model(60, [0.5, 0.3, 0.2], 0.3, 0.02, rng)
+        assert adjacency.shape == (60, 60)
+        assert labels.shape == (60,)
+        assert set(np.unique(labels)) == {0, 1, 2}
+
+    def test_sbm_homophily_above_noise(self, rng):
+        adjacency, labels = stochastic_block_model(200, [0.5, 0.5], 0.2, 0.02, rng)
+        assert homophily(adjacency, labels) > 0.6
+
+    def test_sbm_rejects_bad_probabilities(self, rng):
+        with pytest.raises(ValueError):
+            stochastic_block_model(10, [0.5, 0.5], 0.1, 0.5, rng)
+
+    def test_degree_corrected_sbm_has_hubs(self, rng):
+        adjacency, _ = degree_corrected_sbm(200, [0.25] * 4, 0.1, 0.02, rng, degree_exponent=2.0)
+        degrees = adjacency.sum(axis=1)
+        assert degrees.max() > 3.0 * degrees.mean()
+
+    def test_planted_features_no_empty_rows(self, rng):
+        labels = np.repeat(np.arange(3), 20)
+        features = planted_partition_features(labels, 60, 10, 0.3, 0.01, rng)
+        assert np.all(features.sum(axis=1) > 0)
+
+    def test_planted_features_class_correlation(self, rng):
+        labels = np.repeat(np.arange(2), 50)
+        features = planted_partition_features(labels, 40, 10, 0.5, 0.01, rng)
+        class0_block = features[labels == 0][:, :10].mean()
+        class1_block = features[labels == 1][:, :10].mean()
+        assert class0_block > 5.0 * class1_block
+
+    def test_planted_features_vocabulary_check(self, rng):
+        labels = np.repeat(np.arange(5), 4)
+        with pytest.raises(ValueError):
+            planted_partition_features(labels, 10, 3, 0.3, 0.01, rng)
+
+    def test_attributed_sbm_deterministic_per_seed(self):
+        a = attributed_sbm_graph(50, [0.5, 0.5], 0.2, 0.02, 30, 5, 0.3, 0.01, seed=3)
+        b = attributed_sbm_graph(50, [0.5, 0.5], 0.2, 0.02, 30, 5, 0.3, 0.01, seed=3)
+        np.testing.assert_allclose(a.adjacency, b.adjacency)
+        np.testing.assert_allclose(a.features, b.features)
+
+    def test_attributed_sbm_degree_onehot_mode(self):
+        graph = attributed_sbm_graph(
+            40, [0.5, 0.5], 0.2, 0.05, 11, 0, 0.0, 0.0, seed=1, features="degree_onehot"
+        )
+        np.testing.assert_allclose(graph.features.sum(axis=1), 1.0)
+
+    def test_attributed_sbm_unknown_feature_mode(self):
+        with pytest.raises(ValueError):
+            attributed_sbm_graph(20, [1.0], 0.2, 0.0, 5, 1, 0.5, 0.0, seed=0, features="bogus")
+
+
+class TestGraphOps:
+    def test_add_random_edges_increases_count(self, tiny_graph, rng):
+        modified = add_random_edges(tiny_graph, 15, rng)
+        assert modified.num_edges == tiny_graph.num_edges + 15
+        modified.validate()
+
+    def test_add_random_edges_too_many(self, tiny_graph, rng):
+        possible = tiny_graph.num_nodes * (tiny_graph.num_nodes - 1) // 2
+        with pytest.raises(ValueError):
+            add_random_edges(tiny_graph, possible, rng)
+
+    def test_drop_random_edges_decreases_count(self, tiny_graph, rng):
+        modified = drop_random_edges(tiny_graph, 10, rng)
+        assert modified.num_edges == tiny_graph.num_edges - 10
+        modified.validate()
+
+    def test_drop_random_edges_too_many(self, tiny_graph, rng):
+        with pytest.raises(ValueError):
+            drop_random_edges(tiny_graph, tiny_graph.num_edges + 1, rng)
+
+    def test_add_feature_noise_zero_variance_identity(self, tiny_graph, rng):
+        modified = add_feature_noise(tiny_graph, 0.0, rng)
+        np.testing.assert_allclose(modified.features, tiny_graph.features)
+
+    def test_add_feature_noise_changes_features(self, tiny_graph, rng):
+        modified = add_feature_noise(tiny_graph, 0.1, rng)
+        assert not np.allclose(modified.features, tiny_graph.features)
+
+    def test_add_feature_noise_rejects_negative_variance(self, tiny_graph, rng):
+        with pytest.raises(ValueError):
+            add_feature_noise(tiny_graph, -0.1, rng)
+
+    def test_drop_random_features_zeroes_columns(self, tiny_graph, rng):
+        modified = drop_random_features(tiny_graph, 5, rng)
+        zero_columns = np.sum(modified.features.sum(axis=0) == 0)
+        assert zero_columns >= 5
+
+    def test_drop_random_features_too_many(self, tiny_graph, rng):
+        with pytest.raises(ValueError):
+            drop_random_features(tiny_graph, tiny_graph.num_features + 1, rng)
+
+    def test_edge_difference_counts(self):
+        labels = np.array([0, 0, 1, 1])
+        original = np.zeros((4, 4))
+        original[0, 2] = original[2, 0] = 1.0  # false link to be deleted
+        modified = np.zeros((4, 4))
+        modified[0, 1] = modified[1, 0] = 1.0  # true link added
+        stats = edge_difference(original, modified, labels)
+        assert stats["added_true_links"] == 1
+        assert stats["added_false_links"] == 0
+        assert stats["deleted_false_links"] == 1
+        assert stats["total_links"] == 1
+
+
+class TestStats:
+    def test_density_bounds(self, tiny_graph):
+        value = density(tiny_graph.adjacency)
+        assert 0.0 < value < 1.0
+
+    def test_density_empty_graph(self):
+        assert density(np.zeros((1, 1))) == 0.0
+
+    def test_homophily_perfect_for_block_diagonal(self):
+        adjacency = np.zeros((4, 4))
+        adjacency[0, 1] = adjacency[1, 0] = 1.0
+        adjacency[2, 3] = adjacency[3, 2] = 1.0
+        assert homophily(adjacency, np.array([0, 0, 1, 1])) == 1.0
+
+    def test_homophily_zero_edges(self):
+        assert homophily(np.zeros((3, 3)), np.array([0, 1, 2])) == 0.0
+
+    def test_connected_components_partition(self, tiny_graph):
+        components = connected_components(tiny_graph.adjacency)
+        total = sum(len(component) for component in components)
+        assert total == tiny_graph.num_nodes
+
+    def test_star_subgraph_count_detects_star(self):
+        adjacency = np.zeros((5, 5))
+        for leaf in range(1, 5):
+            adjacency[0, leaf] = adjacency[leaf, 0] = 1.0
+        assert star_subgraph_count(adjacency) == 1
+
+    def test_describe_contains_expected_keys(self, tiny_graph):
+        summary = describe(tiny_graph)
+        for key in ("num_nodes", "num_edges", "density", "homophily", "cluster_sizes"):
+            assert key in summary
+
+
+class TestGraphIO:
+    def test_npz_roundtrip(self, tiny_graph, tmp_path):
+        path = tmp_path / "graph.npz"
+        save_graph_npz(tiny_graph, path)
+        loaded = load_graph_npz(path)
+        np.testing.assert_allclose(loaded.adjacency, tiny_graph.adjacency)
+        np.testing.assert_allclose(loaded.features, tiny_graph.features)
+        np.testing.assert_array_equal(loaded.labels, tiny_graph.labels)
+        assert loaded.name == tiny_graph.name
+        assert loaded.metadata["num_clusters"] == tiny_graph.metadata["num_clusters"]
+
+    def test_npz_roundtrip_without_labels(self, tmp_path):
+        graph = AttributedGraph(np.zeros((3, 3)), np.ones((3, 2)), metadata={"num_clusters": 1})
+        path = tmp_path / "nolabels.npz"
+        save_graph_npz(graph, path)
+        assert load_graph_npz(path).labels is None
