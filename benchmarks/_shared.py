@@ -17,8 +17,10 @@ from functools import lru_cache
 from typing import Dict, Tuple
 
 from repro.datasets import load_dataset
+from repro.datasets.registry import DATASETS
 from repro.experiments import ExperimentConfig, learning_dynamics_study, run_model_pair
 from repro.experiments.runner import PairResult
+from repro.models.registry import MODELS
 
 #: budget used by every benchmark (see EXPERIMENTS.md for the rationale).
 BENCH_CONFIG = ExperimentConfig(
@@ -38,10 +40,11 @@ SWEEP_CONFIG = ExperimentConfig(
     base_seed=0,
 )
 
-CITATION_DATASETS = ("cora_sim", "citeseer_sim", "pubmed_sim")
-AIR_TRAFFIC_DATASETS = ("usa_air_sim", "europe_air_sim", "brazil_air_sim")
-ALL_MODELS = ("gae", "vgae", "argae", "arvgae", "dgae", "gmm_vgae")
-SECOND_GROUP_MODELS = ("dgae", "gmm_vgae")
+# Discovered from the unified registries rather than hard-coded.
+CITATION_DATASETS = tuple(DATASETS.names(family="citation"))
+AIR_TRAFFIC_DATASETS = tuple(DATASETS.names(family="air_traffic"))
+ALL_MODELS = tuple(MODELS.names())
+SECOND_GROUP_MODELS = tuple(MODELS.names(group="second"))
 
 
 @lru_cache(maxsize=None)

@@ -2,8 +2,8 @@
 
 The air-traffic networks of the paper have no node attributes: the feature
 matrix is the one-hot encoding of node degrees.  This example runs the
-(DGAE, R-DGAE) pair on all three air-traffic surrogates and prints a
-Table-3-style comparison.
+(DGAE, R-DGAE) pair on all three air-traffic surrogates through the
+Pipeline facade and prints a Table-3-style comparison.
 
 Usage::
 
@@ -12,10 +12,9 @@ Usage::
 
 from __future__ import annotations
 
-from repro.core import RethinkConfig, RethinkTrainer
+from repro.api import Pipeline
 from repro.datasets import air_traffic_datasets, load_dataset
-from repro.experiments import format_table, rethink_hyperparameters
-from repro.metrics import evaluate_clustering
+from repro.experiments import format_table
 from repro.models import build_model
 
 
@@ -26,25 +25,17 @@ def run_pair(dataset_name: str) -> dict:
     pretrain.pretrain(graph, epochs=80)
     state = pretrain.state_dict()
 
-    base = build_model("dgae", graph.num_features, graph.num_clusters, seed=0)
-    base.load_state_dict(state)
-    base.fit_clustering(graph, epochs=60)
-    base_report = evaluate_clustering(graph.labels, base.predict_labels(graph))
-
-    hyper = rethink_hyperparameters(dataset_name, "dgae")
-    rethought = build_model("dgae", graph.num_features, graph.num_clusters, seed=0)
-    rethought.load_state_dict(state)
-    trainer = RethinkTrainer(
-        rethought,
-        RethinkConfig(
-            alpha1=hyper["alpha1"],
-            update_omega_every=hyper["update_omega_every"],
-            update_graph_every=hyper["update_graph_every"],
-            epochs=80,
-        ),
+    template = (
+        Pipeline()
+        .dataset(dataset_name, seed=0)
+        .model("dgae")
+        .seed(0)
+        .pretrained_state(state)
+        .training(pretrain_epochs=80, clustering_epochs=60, rethink_epochs=80)
     )
-    history = trainer.fit(graph, pretrained=True)
-    return {"base": base_report.as_dict(), "rethink": history.final_report.as_dict()}
+    base = template.base().run()
+    rethought = template.rethink().run()
+    return {"base": base.report.as_dict(), "rethink": rethought.report.as_dict()}
 
 
 def main() -> None:

@@ -3,7 +3,7 @@
 Trains GMM-VGAE and R-GMM-VGAE on the Cora surrogate from shared
 pretraining weights (the paper's fairness protocol), prints a Table-1-style
 row, and reports the Feature-Randomness / Feature-Drift diagnostics of the
-R- run.
+R- run — tracked by the ``fr_fd`` callback from the callback registry.
 
 Usage::
 
@@ -16,51 +16,47 @@ from __future__ import annotations
 
 import sys
 
-from repro.core import RethinkConfig, RethinkTrainer
+from repro.api import Pipeline
 from repro.datasets import citation_datasets, load_dataset
-from repro.experiments import format_table, rethink_hyperparameters
-from repro.metrics import evaluate_clustering
+from repro.experiments import format_table
 from repro.models import build_model
 
 
 def main(dataset_name: str = "cora_sim") -> None:
     if dataset_name not in citation_datasets():
         raise SystemExit(f"choose one of {citation_datasets()}")
-    graph = load_dataset(dataset_name, seed=0)
     model_name = "gmm_vgae"
 
     # Shared pretraining snapshot.
+    graph = load_dataset(dataset_name, seed=0)
     pretrain = build_model(model_name, graph.num_features, graph.num_clusters, seed=0)
     pretrain.pretrain(graph, epochs=100)
     state = pretrain.state_dict()
 
-    # Base model: joint clustering + reconstruction (Eq. 5).
-    base = build_model(model_name, graph.num_features, graph.num_clusters, seed=0)
-    base.load_state_dict(state)
-    base.fit_clustering(graph, epochs=80)
-    base_report = evaluate_clustering(graph.labels, base.predict_labels(graph))
-
-    # R- model: Eq. 6 with the operators Xi and Upsilon, tracking FR/FD.
-    hyper = rethink_hyperparameters(dataset_name, model_name)
-    rethought = build_model(model_name, graph.num_features, graph.num_clusters, seed=0)
-    rethought.load_state_dict(state)
-    trainer = RethinkTrainer(
-        rethought,
-        RethinkConfig(
-            alpha1=hyper["alpha1"],
-            update_omega_every=hyper["update_omega_every"],
-            update_graph_every=hyper["update_graph_every"],
-            epochs=100,
-            track_fr=True,
-            track_fd=True,
-            evaluate_every=20,
-        ),
+    template = (
+        Pipeline()
+        .dataset(dataset_name, seed=0)
+        .model(model_name)
+        .seed(0)
+        .pretrained_state(state)
+        .training(pretrain_epochs=100, clustering_epochs=80, rethink_epochs=100)
     )
-    history = trainer.fit(graph, pretrained=True)
+
+    # Base model: joint clustering + reconstruction (Eq. 5).
+    base = template.base().run()
+
+    # R- model: Eq. 6 with the operators Xi and Upsilon, tracking FR/FD
+    # through the declarative callback spec.
+    rethought = (
+        template.rethink(evaluate_every=20)
+        .callbacks({"name": "fr_fd", "track_fr": True, "track_fd": True})
+        .run()
+    )
+    history = rethought.history
 
     rows = {
-        "GMM-VGAE": {dataset_name: base_report.as_dict()},
-        "R-GMM-VGAE": {dataset_name: history.final_report.as_dict()},
+        "GMM-VGAE": {dataset_name: base.report.as_dict()},
+        "R-GMM-VGAE": {dataset_name: rethought.report.as_dict()},
     }
     print(format_table(rows, [dataset_name], title=f"Clustering on {dataset_name}"))
     if history.fr_rethought:

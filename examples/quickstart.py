@@ -1,4 +1,4 @@
-"""Quickstart: turn a GAE model into its R- variant and evaluate the gain.
+"""Quickstart: turn a GAE model into its R- variant with the Pipeline API.
 
 Runs in under a minute on a laptop: loads the smallest benchmark dataset
 (the Brazil air-traffic surrogate), trains a plain GAE, then trains R-GAE
@@ -11,44 +11,60 @@ Usage::
 
 from __future__ import annotations
 
-from repro.core import RethinkConfig, RethinkTrainer
-from repro.datasets import dataset_summary, load_dataset
-from repro.metrics import evaluate_clustering
+from repro.api import Pipeline
+from repro.datasets import dataset_summary
 from repro.models import build_model
 
 
 def main() -> None:
     dataset_name = "brazil_air_sim"
     print(f"Dataset summary: {dataset_summary(dataset_name)}")
+
+    # ------------------------------------------------------------------
+    # 1. Shared pretraining snapshot (the paper's fairness protocol:
+    #    D and R-D start from the same self-supervised weights).
+    # ------------------------------------------------------------------
+    from repro.datasets import load_dataset
+
     graph = load_dataset(dataset_name, seed=0)
+    pretrain = build_model("gae", graph.num_features, graph.num_clusters, seed=0)
+    pretrain.pretrain(graph, epochs=80)
+    state = pretrain.state_dict()
 
     # ------------------------------------------------------------------
-    # 1. Pretrain a plain GAE (self-supervised adjacency reconstruction).
+    # 2. One pipeline template, two variants.  The base variant runs the
+    #    original GAE (k-means on the frozen embeddings); the rethink
+    #    variant wraps the same model with the sampling operator Xi and
+    #    the graph-transform operator Upsilon.
     # ------------------------------------------------------------------
-    model = build_model("gae", graph.num_features, graph.num_clusters, seed=0)
-    model.pretrain(graph, epochs=80)
-    pretrained_state = model.state_dict()
-    base_report = evaluate_clustering(graph.labels, model.predict_labels(graph))
-    print(f"GAE   (k-means on pretrained embeddings): {base_report}")
-
-    # ------------------------------------------------------------------
-    # 2. Train the R- variant from the same pretraining weights.
-    #    The sampling operator Xi selects reliable nodes, the operator
-    #    Upsilon rewrites the reconstruction target into a
-    #    clustering-oriented graph.
-    # ------------------------------------------------------------------
-    rethought = build_model("gae", graph.num_features, graph.num_clusters, seed=0)
-    rethought.load_state_dict(pretrained_state)
-    trainer = RethinkTrainer(
-        rethought,
-        RethinkConfig(alpha1=0.3, update_omega_every=10, update_graph_every=5, epochs=80),
+    template = (
+        Pipeline()
+        .dataset(dataset_name, seed=0)
+        .model("gae")
+        .seed(0)
+        .pretrained_state(state)
+        .training(pretrain_epochs=80, rethink_epochs=80)
     )
-    history = trainer.fit(graph, pretrained=True)
-    print(f"R-GAE (operators Xi and Upsilon):         {history.final_report}")
+
+    base = template.base().run()
+    print(f"GAE   (k-means on pretrained embeddings): {base.report}")
+
+    rethought = (
+        template.rethink(alpha1=0.3, update_omega_every=10, update_graph_every=5).run()
+    )
+    print(f"R-GAE (operators Xi and Upsilon):         {rethought.report}")
+    history = rethought.history
     print(
         f"decidable-node coverage at the end: {history.omega_coverage[-1]:.2f} "
         f"(converged: {history.converged})"
     )
+
+    # ------------------------------------------------------------------
+    # 3. The same trial as declarative data: every pipeline is backed by
+    #    a RunSpec that round-trips through JSON (see `repro-run`).
+    # ------------------------------------------------------------------
+    print("\nThis R- trial as a JSON run spec:")
+    print(template.rethink(alpha1=0.3).spec().to_json())
 
 
 if __name__ == "__main__":

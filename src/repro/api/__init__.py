@@ -1,0 +1,87 @@
+"""repro.api — the unified pipeline facade of the reproduction.
+
+Three pieces compose here:
+
+* :class:`~repro.api.registry.Registry` — the single registry protocol
+  behind the model / dataset / baseline / callback registries, with
+  decorator registration and queryable metadata;
+* :class:`~repro.api.spec.RunSpec` — serializable run descriptions that
+  round-trip through plain dicts and JSON (``repro-run spec.json``);
+* :class:`~repro.api.pipeline.Pipeline` — the fluent facade executing a
+  spec end-to-end, with training observability supplied by the callback
+  system of :mod:`repro.api.callbacks`.
+
+Quick taste::
+
+    from repro.api import Pipeline
+
+    result = Pipeline().dataset("cora_sim").model("gae").rethink(alpha1=0.3).seed(0).run()
+    print(result.report)
+
+The low-level registries (:mod:`repro.models.registry`, ...) import
+:class:`Registry` from this package, so the heavier modules (pipeline,
+spec, callbacks) are loaded lazily via module ``__getattr__`` to keep the
+import graph acyclic.
+"""
+
+from __future__ import annotations
+
+from repro.api.registry import Registry, RegistryEntry
+from repro.errors import (
+    ConfigError,
+    ReproError,
+    SpecError,
+    UnknownEntryError,
+    UnknownVariantError,
+)
+
+_LAZY_EXPORTS = {
+    # spec
+    "RunSpec": ("repro.api.spec", "RunSpec"),
+    "DatasetSpec": ("repro.api.spec", "DatasetSpec"),
+    "ModelSpec": ("repro.api.spec", "ModelSpec"),
+    "TrainingSpec": ("repro.api.spec", "TrainingSpec"),
+    "RethinkSpec": ("repro.api.spec", "RethinkSpec"),
+    # pipeline
+    "Pipeline": ("repro.api.pipeline", "Pipeline"),
+    "RunResult": ("repro.api.pipeline", "RunResult"),
+    # callbacks
+    "RethinkCallback": ("repro.api.callbacks", "RethinkCallback"),
+    "CallbackList": ("repro.api.callbacks", "CallbackList"),
+    "EvaluationContext": ("repro.api.callbacks", "EvaluationContext"),
+    "LambdaCallback": ("repro.api.callbacks", "LambdaCallback"),
+    "FRFDTracker": ("repro.api.callbacks", "FRFDTracker"),
+    "DynamicsTracker": ("repro.api.callbacks", "DynamicsTracker"),
+    "GraphSnapshotRecorder": ("repro.api.callbacks", "GraphSnapshotRecorder"),
+    "ProgressLogger": ("repro.api.callbacks", "ProgressLogger"),
+    "ConvergenceStopping": ("repro.api.callbacks", "ConvergenceStopping"),
+    "CALLBACKS": ("repro.api.callbacks", "CALLBACKS"),
+    "resolve_callbacks": ("repro.api.callbacks", "resolve_callbacks"),
+}
+
+__all__ = [
+    "Registry",
+    "RegistryEntry",
+    "ReproError",
+    "ConfigError",
+    "SpecError",
+    "UnknownEntryError",
+    "UnknownVariantError",
+    *_LAZY_EXPORTS,
+]
+
+
+def __getattr__(name: str):
+    try:
+        module_name, attribute = _LAZY_EXPORTS[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}") from None
+    import importlib
+
+    value = getattr(importlib.import_module(module_name), attribute)
+    globals()[name] = value
+    return value
+
+
+def __dir__():
+    return sorted(__all__)

@@ -1,0 +1,307 @@
+"""The `Pipeline` facade: one fluent, declarative entry point for trials.
+
+The paper's central claim is architectural: *any* GAE model D becomes R-D
+by composing the operators Ξ and Υ around its training loop.  The
+:class:`Pipeline` makes that composition a first-class object::
+
+    from repro.api import Pipeline
+
+    result = (
+        Pipeline()
+        .dataset("cora_sim")
+        .model("gmm_vgae")
+        .rethink(alpha1=0.7)
+        .seed(0)
+        .run()
+    )
+    print(result.report)
+
+and, because the underlying :class:`~repro.api.spec.RunSpec` round-trips
+through JSON, the exact same trial is also a document::
+
+    result = Pipeline.from_spec(json.load(open("trial.json"))).run()
+
+Pipelines are immutable: every fluent call returns a new pipeline, so a
+partially-configured pipeline can be reused as a template for many trials.
+"""
+
+from __future__ import annotations
+
+import copy
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Union
+
+from repro.api.spec import (
+    DatasetSpec,
+    ModelSpec,
+    RethinkSpec,
+    RunSpec,
+    TrainingSpec,
+)
+from repro.errors import SpecError, UnknownVariantError
+
+
+@dataclass
+class RunResult:
+    """Outcome of one :meth:`Pipeline.run` call.
+
+    ``history`` is populated for rethink trials only (base trials have no
+    R- phase); ``model`` is the trained model, kept so callers can embed,
+    predict or snapshot weights afterwards.
+    """
+
+    spec: RunSpec
+    report: Optional[Any]  # ClusteringReport when the dataset has labels
+    runtime_seconds: float
+    history: Optional[Any] = None  # RethinkHistory for rethink trials
+    model: Optional[Any] = None
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def variant(self) -> str:
+        return self.spec.variant
+
+    def summary(self) -> Dict[str, float]:
+        """Flat metric summary (ACC/NMI/ARI plus runtime)."""
+        out: Dict[str, float] = {"runtime_seconds": self.runtime_seconds}
+        if self.report is not None:
+            out.update(self.report.as_dict())
+        if self.history is not None:
+            out["epochs_run"] = float(self.history.epochs_run)
+            out["converged"] = float(self.history.converged)
+        return out
+
+
+class Pipeline:
+    """Fluent, immutable builder and executor of training trials."""
+
+    def __init__(self) -> None:
+        self._dataset: Optional[DatasetSpec] = None
+        self._model: Optional[ModelSpec] = None
+        self._variant: str = "rethink"
+        self._seed: int = 0
+        self._training: TrainingSpec = TrainingSpec()
+        self._rethink: RethinkSpec = RethinkSpec()
+        self._callback_specs: List[Union[str, Dict[str, Any]]] = []
+        self._callback_objects: List[Any] = []
+        self._tags: Dict[str, str] = {}
+        self._graph = None  # explicit AttributedGraph, bypasses the registry
+        self._pretrained_state: Optional[Dict[str, Any]] = None
+
+    def _clone(self) -> "Pipeline":
+        clone = copy.copy(self)
+        clone._callback_specs = list(self._callback_specs)
+        clone._callback_objects = list(self._callback_objects)
+        clone._tags = dict(self._tags)
+        return clone
+
+    # ------------------------------------------------------------------
+    # fluent configuration
+    # ------------------------------------------------------------------
+    def dataset(self, name: str, seed: int = 0, **options) -> "Pipeline":
+        """Select a registered dataset (and its generation seed)."""
+        clone = self._clone()
+        clone._dataset = DatasetSpec(name=name, seed=seed, options=options)
+        return clone
+
+    def graph(self, graph) -> "Pipeline":
+        """Use an explicit :class:`~repro.graph.graph.AttributedGraph`.
+
+        Escape hatch for corrupted / user-built graphs (robustness sweeps).
+        The resulting pipeline still runs, but it can only be serialised if
+        a named dataset is also set.
+        """
+        clone = self._clone()
+        clone._graph = graph
+        if clone._dataset is None:
+            clone._dataset = DatasetSpec(name=getattr(graph, "name", "custom"))
+        return clone
+
+    def model(self, name: str, **options) -> "Pipeline":
+        """Select a registered model; ``options`` go to its constructor."""
+        clone = self._clone()
+        clone._model = ModelSpec(name=name, options=options)
+        return clone
+
+    def base(self) -> "Pipeline":
+        """Run the original model D (no Ξ / Υ operators)."""
+        clone = self._clone()
+        clone._variant = "base"
+        return clone
+
+    def rethink(self, use_paper_hyperparameters: Optional[bool] = None, **overrides) -> "Pipeline":
+        """Run the R- variant; ``overrides`` overlay any RethinkConfig field."""
+        clone = self._clone()
+        clone._variant = "rethink"
+        merged = {**clone._rethink.overrides, **overrides}
+        use_paper = (
+            clone._rethink.use_paper_hyperparameters
+            if use_paper_hyperparameters is None
+            else use_paper_hyperparameters
+        )
+        clone._rethink = RethinkSpec(overrides=merged, use_paper_hyperparameters=use_paper)
+        return clone
+
+    def variant(self, variant: str) -> "Pipeline":
+        """Select "base" or "rethink" by name (spec-style)."""
+        if variant not in ("base", "rethink"):
+            raise UnknownVariantError(variant)
+        clone = self._clone()
+        clone._variant = variant
+        return clone
+
+    def seed(self, seed: int) -> "Pipeline":
+        """Seed for model initialisation and training stochasticity."""
+        clone = self._clone()
+        clone._seed = int(seed)
+        return clone
+
+    def training(self, **budgets) -> "Pipeline":
+        """Set epoch budgets (pretrain_epochs, clustering_epochs, rethink_epochs)."""
+        clone = self._clone()
+        merged = clone._training.to_dict()
+        merged.update(budgets)
+        clone._training = TrainingSpec.from_dict(merged)
+        return clone
+
+    def callbacks(self, *callbacks) -> "Pipeline":
+        """Attach callbacks: registered names, spec dicts or instances."""
+        clone = self._clone()
+        for callback in callbacks:
+            if isinstance(callback, (str, dict)):
+                clone._callback_specs.append(callback)
+            else:
+                clone._callback_objects.append(callback)
+        return clone
+
+    def tag(self, **tags) -> "Pipeline":
+        """Attach free-form string tags carried through to the spec."""
+        clone = self._clone()
+        clone._tags.update({key: str(value) for key, value in tags.items()})
+        return clone
+
+    def pretrained_state(self, state: Dict[str, Any]) -> "Pipeline":
+        """Start from a pretraining snapshot instead of pretraining afresh.
+
+        This is how the paper's fairness protocol ("D and R-D share the
+        same pretraining weights") is expressed with pipelines: pretrain
+        once, then hand the same state to a base and a rethink pipeline.
+        """
+        clone = self._clone()
+        clone._pretrained_state = state
+        return clone
+
+    # ------------------------------------------------------------------
+    # spec round-trip
+    # ------------------------------------------------------------------
+    def spec(self) -> RunSpec:
+        """The serializable :class:`RunSpec` this pipeline will execute."""
+        if self._dataset is None:
+            raise SpecError("pipeline has no dataset; call .dataset(name) first")
+        if self._model is None:
+            raise SpecError("pipeline has no model; call .model(name) first")
+        return RunSpec(
+            dataset=self._dataset,
+            model=self._model,
+            variant=self._variant,
+            seed=self._seed,
+            training=self._training,
+            rethink=self._rethink,
+            callbacks=list(self._callback_specs),
+            tags=dict(self._tags),
+        )
+
+    @classmethod
+    def from_spec(cls, spec: Union[RunSpec, Dict[str, Any], str]) -> "Pipeline":
+        """Build a pipeline from a :class:`RunSpec`, plain dict or JSON text."""
+        if isinstance(spec, str):
+            spec = RunSpec.from_json(spec)
+        elif isinstance(spec, dict):
+            spec = RunSpec.from_dict(spec)
+        elif not isinstance(spec, RunSpec):
+            raise SpecError(f"cannot build a pipeline from {type(spec).__name__}")
+        pipeline = cls()
+        pipeline._dataset = spec.dataset
+        pipeline._model = spec.model
+        pipeline._variant = spec.variant
+        pipeline._seed = spec.seed
+        pipeline._training = spec.training
+        pipeline._rethink = spec.rethink
+        pipeline._callback_specs = list(spec.callbacks)
+        pipeline._tags = dict(spec.tags)
+        return pipeline
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def _resolve_graph(self, spec: RunSpec):
+        from repro.datasets.registry import DATASETS
+
+        if self._graph is not None:
+            return self._graph
+        builder = DATASETS[spec.dataset.name]
+        return builder(spec.dataset.seed, **spec.dataset.options)
+
+    def run(self) -> RunResult:
+        """Execute the trial end-to-end and return its :class:`RunResult`."""
+        from repro.api.callbacks import resolve_callbacks
+        from repro.core.rethink import RethinkConfig, RethinkTrainer
+        from repro.experiments.config import rethink_hyperparameters
+        from repro.metrics.report import evaluate_clustering
+        from repro.models.registry import MODELS, build_model
+
+        spec = self.spec()
+        start = time.perf_counter()
+        graph = self._resolve_graph(spec)
+        model = build_model(
+            spec.model.name,
+            graph.num_features,
+            graph.num_clusters,
+            seed=spec.seed,
+            **spec.model.options,
+        )
+        config = None
+        if spec.variant == "rethink":
+            settings: Dict[str, Any] = {}
+            if spec.rethink.use_paper_hyperparameters:
+                settings.update(rethink_hyperparameters(spec.dataset.name, spec.model.name))
+            settings.update(
+                epochs=spec.training.rethink_epochs,
+                pretrain_epochs=spec.training.pretrain_epochs,
+            )
+            settings.update(spec.rethink.overrides)
+            config = RethinkConfig(**settings)
+
+        if self._pretrained_state is not None:
+            model.load_state_dict(self._pretrained_state)
+        else:
+            model.pretrain(
+                graph,
+                epochs=spec.training.pretrain_epochs,
+                verbose=config.verbose if config is not None else False,
+            )
+
+        history = None
+        if spec.variant == "base":
+            if MODELS.metadata(spec.model.name).get("group") == "second":
+                model.fit_clustering(graph, epochs=spec.training.clustering_epochs)
+        else:
+            callbacks = resolve_callbacks(spec.callbacks) + list(self._callback_objects)
+            trainer = RethinkTrainer(model, config, callbacks=callbacks)
+            history = trainer.fit(graph, pretrained=True)
+
+        report = None
+        if graph.labels is not None:
+            if history is not None and history.final_report is not None:
+                report = history.final_report
+            else:
+                report = evaluate_clustering(graph.labels, model.predict_labels(graph))
+        runtime = time.perf_counter() - start
+        return RunResult(
+            spec=spec,
+            report=report,
+            runtime_seconds=runtime,
+            history=history,
+            model=model,
+        )

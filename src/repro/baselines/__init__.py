@@ -17,9 +17,15 @@ from repro.baselines.tadw import TADW
 from repro.baselines.mgae import MGAE
 from repro.baselines.agc import AGC
 from repro.baselines.age import AGE
-from repro.baselines.registry import BASELINE_BUILDERS, build_baseline, available_baselines
+from repro.baselines.registry import (
+    BASELINES,
+    BASELINE_BUILDERS,
+    build_baseline,
+    available_baselines,
+)
 
 __all__ = [
+    "BASELINES",
     "TADW",
     "MGAE",
     "AGC",

@@ -1,31 +1,35 @@
-"""Registry of non-GAE clustering baselines (Table 17)."""
+"""Registry of non-GAE clustering baselines (Table 17).
+
+Backed by the generic :class:`repro.api.registry.Registry`; the legacy
+``BASELINE_BUILDERS`` mapping is kept as a view over it.
+"""
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+from typing import List
 
+from repro.api.registry import Registry
 from repro.baselines.agc import AGC
 from repro.baselines.age import AGE
 from repro.baselines.mgae import MGAE
 from repro.baselines.tadw import TADW
 
-BASELINE_BUILDERS: Dict[str, Callable] = {
-    "tadw": TADW,
-    "mgae": MGAE,
-    "agc": AGC,
-    "age": AGE,
-}
+#: the unified baseline registry (name → baseline class).
+BASELINES = Registry("baseline")
+BASELINES.add("tadw", TADW, description="text-associated DeepWalk (matrix factorisation)")
+BASELINES.add("mgae", MGAE, description="marginalised GAE + spectral clustering")
+BASELINES.add("agc", AGC, description="adaptive graph convolution")
+BASELINES.add("age", AGE, description="adaptive graph encoder")
+
+#: deprecated alias — a Mapping view over :data:`BASELINES`.
+BASELINE_BUILDERS = BASELINES
 
 
 def available_baselines() -> List[str]:
     """Names of all registered baselines."""
-    return sorted(BASELINE_BUILDERS)
+    return sorted(BASELINES.names())
 
 
 def build_baseline(name: str, num_clusters: int, seed: int = 0, **kwargs):
     """Instantiate a registered baseline."""
-    if name not in BASELINE_BUILDERS:
-        raise KeyError(
-            f"unknown baseline {name!r}; available: {', '.join(available_baselines())}"
-        )
-    return BASELINE_BUILDERS[name](num_clusters=num_clusters, seed=seed, **kwargs)
+    return BASELINES.build(name, num_clusters=num_clusters, seed=seed, **kwargs)

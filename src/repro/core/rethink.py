@@ -12,26 +12,28 @@
   for first-group models (whose clustering is post-hoc k-means);
 * training stops when ``|Ω| ≥ convergence_fraction · N`` (paper: 0.9).
 
-The configuration exposes every knob needed by the paper's ablations:
-protection-vs-correction delays (Table 6), single-step Υ (Table 7),
-confidence-threshold ablations (Table 8) and add/drop edge ablations
-(Table 9), plus optional tracking of Λ_FR / Λ_FD and of the learning
-dynamics (Figures 4-6, 9).
+The loop itself is deliberately minimal: everything observational — the
+Λ_FR / Λ_FD traces, learning-dynamics curves, graph snapshots, verbosity,
+and the convergence-based early stop — is implemented as callbacks (see
+:mod:`repro.api.callbacks`) listening on the loop's events
+(``on_omega_update``, ``on_graph_transform``, ``on_evaluate``,
+``on_epoch_end``).  The ``track_*`` switches on :class:`RethinkConfig` are
+kept for backward compatibility and are translated into the equivalent
+callbacks; new code should pass callbacks explicitly or use
+:class:`repro.api.Pipeline`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.core.fr_fd import feature_drift_metric, feature_randomness_metric
-from repro.core.graph_transform import GraphTransformOperator, build_clustering_oriented_graph
+from repro.core.graph_transform import GraphTransformOperator
 from repro.core.sampling import SamplingOperator, SamplingResult
-from repro.core.supervision import aligned_oracle_assignments
+from repro.errors import ConfigError
 from repro.graph.graph import AttributedGraph
-from repro.graph.ops import edge_difference
 from repro.metrics.report import ClusteringReport, evaluate_clustering
 from repro.models.base import GAEClusteringModel
 from repro.nn.optim import Adam
@@ -63,13 +65,69 @@ class RethinkConfig:
     use_margin_criterion: bool = True
     use_sampling: bool = True
     use_graph_transform: bool = True
-    # Tracking ----------------------------------------------------------
+    # Tracking (legacy switches, translated into callbacks) --------------
     track_fr: bool = False
     track_fd: bool = False
     track_dynamics: bool = False
     evaluate_every: int = 10
     snapshot_graph_every: Optional[int] = None
     verbose: bool = False
+
+    @property
+    def resolved_alpha2(self) -> float:
+        """The effective margin threshold: ``alpha2`` or the paper's α1/2 default.
+
+        This is the single place where the default is applied; the sampling
+        operator and the serialised run specs both go through it.
+        """
+        return self.alpha1 / 2.0 if self.alpha2 is None else self.alpha2
+
+    def validate(
+        self,
+        model_group: Optional[str] = None,
+        model_gamma: Optional[float] = None,
+    ) -> "RethinkConfig":
+        """Check every field, raising :class:`~repro.errors.ConfigError` early.
+
+        ``model_group`` ("first"/"second") and ``model_gamma`` describe the
+        model the config will drive, enabling the cross-checks that cannot
+        be done on the config alone (γ is required for second-group models,
+        either explicitly or through the model's own default).  Returns
+        ``self`` so it can be chained.
+        """
+        if not 0.0 <= self.alpha1 <= 1.0:
+            raise ConfigError(f"alpha1 must lie in [0, 1], got {self.alpha1!r}")
+        if self.alpha2 is not None and not 0.0 <= self.alpha2 <= 1.0:
+            raise ConfigError(
+                f"alpha2 must lie in [0, 1] (or be None for the α1/2 default), "
+                f"got {self.alpha2!r}"
+            )
+        if self.epochs < 1:
+            raise ConfigError(f"epochs must be >= 1, got {self.epochs!r}")
+        if self.pretrain_epochs < 0:
+            raise ConfigError(f"pretrain_epochs must be >= 0, got {self.pretrain_epochs!r}")
+        for name in ("update_omega_every", "update_graph_every", "evaluate_every"):
+            value = getattr(self, name)
+            if value < 1:
+                raise ConfigError(f"{name} must be >= 1, got {value!r}")
+        if self.snapshot_graph_every is not None and self.snapshot_graph_every < 1:
+            raise ConfigError(
+                f"snapshot_graph_every must be >= 1 or None, got {self.snapshot_graph_every!r}"
+            )
+        if not 0.0 < self.convergence_fraction <= 1.0:
+            raise ConfigError(
+                f"convergence_fraction must lie in (0, 1], got {self.convergence_fraction!r}"
+            )
+        if self.protection_delay < 0:
+            raise ConfigError(f"protection_delay must be >= 0, got {self.protection_delay!r}")
+        if self.gamma is not None and self.gamma < 0.0:
+            raise ConfigError(f"gamma must be >= 0, got {self.gamma!r}")
+        if model_group == "second" and self.gamma is None and model_gamma is None:
+            raise ConfigError(
+                "gamma is required for second-group models (joint objective, Eq. 5): "
+                "set RethinkConfig.gamma or give the model a gamma"
+            )
+        return self
 
 
 @dataclass
@@ -108,19 +166,35 @@ class RethinkHistory:
 
 
 class RethinkTrainer:
-    """Train the R- version of any GAE clustering model."""
+    """Train the R- version of any GAE clustering model.
+
+    Parameters
+    ----------
+    model:
+        Any :class:`~repro.models.base.GAEClusteringModel`.
+    config:
+        The R- hyper-parameters; validated eagerly against the model.
+    callbacks:
+        Extra :class:`~repro.api.callbacks.RethinkCallback` instances (or
+        registered callback names / spec dicts) appended after the
+        callbacks derived from the config's legacy ``track_*`` switches.
+    """
 
     def __init__(
         self,
         model: GAEClusteringModel,
         config: Optional[RethinkConfig] = None,
+        callbacks: Optional[Sequence] = None,
     ) -> None:
         self.model = model
-        self.config = config or RethinkConfig()
-        alpha2 = self.config.alpha2
+        self.config = (config or RethinkConfig()).validate(
+            model_group=getattr(model, "group", None),
+            model_gamma=getattr(model, "gamma", None),
+        )
+        self.callbacks = list(callbacks or [])
         self.sampling = SamplingOperator(
             alpha1=self.config.alpha1,
-            alpha2=alpha2,
+            alpha2=self.config.resolved_alpha2,
             use_confidence_criterion=self.config.use_confidence_criterion,
             use_margin_criterion=self.config.use_margin_criterion,
         )
@@ -131,6 +205,13 @@ class RethinkTrainer:
         self.self_supervision_graph_: Optional[np.ndarray] = None
         #: latest sampling result produced by Ξ.
         self.last_sampling_: Optional[SamplingResult] = None
+        #: history of the current / most recent fit (visible to callbacks).
+        self.history_: Optional[RethinkHistory] = None
+        #: model inputs of the current fit (visible to callbacks).
+        self.features_: Optional[np.ndarray] = None
+        self.adj_norm_: Optional[np.ndarray] = None
+        #: set by callbacks (e.g. ConvergenceStopping) to end training early.
+        self.stop_training: bool = False
 
     # ------------------------------------------------------------------
     # operator applications
@@ -169,82 +250,18 @@ class RethinkTrainer:
         )
 
     # ------------------------------------------------------------------
-    # tracking helpers
-    # ------------------------------------------------------------------
-    def _track_fr_fd(
-        self,
-        graph: AttributedGraph,
-        features: np.ndarray,
-        adj_norm: np.ndarray,
-        embeddings: np.ndarray,
-        sampling: SamplingResult,
-        history: RethinkHistory,
-    ) -> None:
-        if graph.labels is None:
-            return
-        assignments = self.model.predict_assignments(embeddings)
-        oracle = aligned_oracle_assignments(graph.labels, assignments)
-        if self.config.track_fr and hasattr(self.model, "clustering_loss_with_target"):
-            history.fr_rethought.append(
-                feature_randomness_metric(
-                    self.model, features, adj_norm, oracle, sampling.reliable_nodes
-                )
-            )
-            history.fr_baseline.append(
-                feature_randomness_metric(self.model, features, adj_norm, oracle, None)
-            )
-        if self.config.track_fd:
-            oracle_graph = build_clustering_oriented_graph(
-                graph.adjacency, oracle, np.arange(graph.num_nodes), embeddings
-            )
-            history.fd_rethought.append(
-                feature_drift_metric(
-                    self.model, features, adj_norm, self.self_supervision_graph_, oracle_graph
-                )
-            )
-            history.fd_baseline.append(
-                feature_drift_metric(
-                    self.model, features, adj_norm, graph.adjacency, oracle_graph
-                )
-            )
-
-    def _track_accuracy(
-        self,
-        graph: AttributedGraph,
-        embeddings: np.ndarray,
-        sampling: SamplingResult,
-        history: RethinkHistory,
-        epoch: int,
-    ) -> None:
-        if graph.labels is None:
-            return
-        assignments = self.model.predict_assignments(embeddings)
-        predictions = np.argmax(assignments, axis=1)
-        history.evaluation_epochs.append(epoch)
-        history.accuracy_all.append(
-            evaluate_clustering(graph.labels, predictions).accuracy
-        )
-        mask = sampling.mask()
-        if mask.any():
-            history.accuracy_decidable.append(
-                float(
-                    np.mean(
-                        _aligned_correct(graph.labels, predictions)[mask]
-                    )
-                )
-            )
-        else:
-            history.accuracy_decidable.append(0.0)
-        if (~mask).any():
-            history.accuracy_undecidable.append(
-                float(np.mean(_aligned_correct(graph.labels, predictions)[~mask]))
-            )
-        else:
-            history.accuracy_undecidable.append(0.0)
-
-    # ------------------------------------------------------------------
     # main loop
     # ------------------------------------------------------------------
+    def _build_callbacks(self):
+        """Config-derived callbacks plus the explicitly passed ones."""
+        from repro.api.callbacks import CallbackList, callbacks_from_config, resolve_callbacks
+
+        callbacks = CallbackList(
+            callbacks_from_config(self.config) + resolve_callbacks(self.callbacks)
+        )
+        callbacks.set_trainer(self)
+        return callbacks
+
     def fit(self, graph: AttributedGraph, pretrained: bool = False) -> RethinkHistory:
         """Run (optionally) pretraining then the R- clustering phase."""
         config = self.config
@@ -252,18 +269,24 @@ class RethinkTrainer:
         if not pretrained:
             model.pretrain(graph, epochs=config.pretrain_epochs, verbose=config.verbose)
         features, adj_norm = model.prepare_inputs(graph)
+        self.features_, self.adj_norm_ = features, adj_norm
         embeddings = model.embed(graph)
         model.init_clustering(embeddings)
 
         optimizer = Adam(model.parameters(), lr=model.learning_rate)
         gamma = model.gamma if config.gamma is None else config.gamma
         history = RethinkHistory()
+        self.history_ = history
+        self.stop_training = False
+        callbacks = self._build_callbacks()
 
         sampling = self._apply_sampling(embeddings, epoch=0, num_nodes=graph.num_nodes)
         self.last_sampling_ = sampling
         self.self_supervision_graph_ = self._apply_transform(graph, embeddings, sampling)
+        callbacks.on_train_begin(graph, history)
 
         for epoch in range(config.epochs):
+            callbacks.on_epoch_begin(epoch)
             refresh_omega = epoch % config.update_omega_every == 0
             refresh_graph = epoch % config.update_graph_every == 0
             if refresh_omega or refresh_graph:
@@ -274,10 +297,12 @@ class RethinkTrainer:
             if refresh_omega:
                 sampling = self._apply_sampling(embeddings, epoch, graph.num_nodes)
                 self.last_sampling_ = sampling
+                callbacks.on_omega_update(epoch, sampling)
             if refresh_graph:
                 self.self_supervision_graph_ = self._apply_transform(
                     graph, embeddings, sampling
                 )
+                callbacks.on_graph_transform(epoch, self.self_supervision_graph_)
 
             optimizer.zero_grad()
             z = model.encode(features, adj_norm)
@@ -304,56 +329,29 @@ class RethinkTrainer:
                 epoch % config.evaluate_every == 0 or epoch == config.epochs - 1
             )
             if should_evaluate:
-                eval_embeddings = model.embed(graph)
-                if config.track_dynamics:
-                    self._track_accuracy(graph, eval_embeddings, sampling, history, epoch)
-                    if graph.labels is not None:
-                        history.link_stats.append(
-                            edge_difference(
-                                graph.adjacency,
-                                self.self_supervision_graph_,
-                                graph.labels,
-                            )
-                        )
-                if config.track_fr or config.track_fd:
-                    self._track_fr_fd(
-                        graph, features, adj_norm, eval_embeddings, sampling, history
-                    )
-            if (
-                config.snapshot_graph_every is not None
-                and epoch % config.snapshot_graph_every == 0
-            ):
-                history.graph_snapshots[epoch] = self.self_supervision_graph_.copy()
+                from repro.api.callbacks import EvaluationContext
 
-            if config.verbose and epoch % 20 == 0:
-                print(
-                    f"[R-{model.__class__.__name__}] epoch {epoch} "
-                    f"loss {loss.item():.4f} |Omega| {sampling.num_reliable}"
-                )
+                callbacks.on_evaluate(epoch, EvaluationContext(self, graph, epoch))
 
-            coverage = sampling.coverage()
-            if (
-                config.stop_at_convergence
-                and coverage >= config.convergence_fraction
-                and epoch >= config.update_omega_every
-            ):
-                history.converged = True
+            callbacks.on_epoch_end(
+                epoch,
+                {
+                    "loss": loss.item(),
+                    "reconstruction_loss": reconstruction.item(),
+                    "num_reliable": sampling.num_reliable,
+                    "coverage": sampling.coverage(),
+                },
+            )
+            if self.stop_training:
                 break
 
         if graph.labels is not None:
             history.final_report = evaluate_clustering(
                 graph.labels, self.predict_labels(graph)
             )
+        callbacks.on_train_end(history)
         return history
 
     def predict_labels(self, graph: AttributedGraph) -> np.ndarray:
         """Hard cluster labels from the trained model."""
         return self.model.predict_labels(graph)
-
-
-def _aligned_correct(true_labels: np.ndarray, predictions: np.ndarray) -> np.ndarray:
-    """Boolean per-node correctness after Hungarian alignment."""
-    from repro.metrics.hungarian import align_labels
-
-    aligned = align_labels(true_labels, predictions)
-    return aligned == np.asarray(true_labels)

@@ -13,6 +13,7 @@ See DESIGN.md §2 for the substitution rationale.
 """
 
 from repro.datasets.registry import (
+    DATASETS,
     DATASET_BUILDERS,
     available_datasets,
     load_dataset,
@@ -26,6 +27,7 @@ from repro.datasets.features import (
 )
 
 __all__ = [
+    "DATASETS",
     "DATASET_BUILDERS",
     "available_datasets",
     "load_dataset",

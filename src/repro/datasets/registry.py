@@ -4,20 +4,28 @@ Each builder returns a deterministic :class:`~repro.graph.graph.AttributedGraph`
 for a given seed.  The defaults are scaled-down surrogates of the paper's
 datasets (see DESIGN.md §2); the cluster counts, feature style, relative
 sparsity and class imbalance follow the originals.
+
+The builders register themselves on :data:`DATASETS` — an instance of the
+generic :class:`repro.api.registry.Registry` — with their family
+("citation" / "air_traffic") and the real dataset they stand in for as
+queryable metadata.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Tuple
+from typing import Dict, List
 
-import numpy as np
-
+from repro.api.registry import Registry
 from repro.datasets.features import row_normalize
 from repro.graph.generators import attributed_sbm_graph
 from repro.graph.graph import AttributedGraph
 from repro.graph.stats import describe
 
-DatasetBuilder = Callable[[int], AttributedGraph]
+#: the unified dataset registry (name → builder, with family metadata).
+DATASETS = Registry("dataset")
+
+#: deprecated alias — a Mapping view over :data:`DATASETS`.
+DATASET_BUILDERS = DATASETS
 
 
 def _finalize(graph: AttributedGraph) -> AttributedGraph:
@@ -25,6 +33,7 @@ def _finalize(graph: AttributedGraph) -> AttributedGraph:
     return graph.with_features(row_normalize(graph.features, norm="l2"))
 
 
+@DATASETS.register("cora_sim", family="citation", surrogate_of="Cora")
 def make_cora_sim(seed: int = 0) -> AttributedGraph:
     """Cora surrogate: 7 imbalanced clusters, sparse binary features."""
     graph = attributed_sbm_graph(
@@ -42,6 +51,7 @@ def make_cora_sim(seed: int = 0) -> AttributedGraph:
     return _finalize(graph)
 
 
+@DATASETS.register("citeseer_sim", family="citation", surrogate_of="Citeseer")
 def make_citeseer_sim(seed: int = 0) -> AttributedGraph:
     """Citeseer surrogate: 6 clusters, sparser topology, noisier features."""
     graph = attributed_sbm_graph(
@@ -59,6 +69,7 @@ def make_citeseer_sim(seed: int = 0) -> AttributedGraph:
     return _finalize(graph)
 
 
+@DATASETS.register("pubmed_sim", family="citation", surrogate_of="Pubmed")
 def make_pubmed_sim(seed: int = 0) -> AttributedGraph:
     """Pubmed surrogate: larger, only 3 clusters, denser features."""
     graph = attributed_sbm_graph(
@@ -76,6 +87,7 @@ def make_pubmed_sim(seed: int = 0) -> AttributedGraph:
     return _finalize(graph)
 
 
+@DATASETS.register("usa_air_sim", family="air_traffic", surrogate_of="USA Air-Traffic")
 def make_usa_air_sim(seed: int = 0) -> AttributedGraph:
     """USA air-traffic surrogate: 4 activity levels, hub structure, degree features."""
     graph = attributed_sbm_graph(
@@ -96,6 +108,7 @@ def make_usa_air_sim(seed: int = 0) -> AttributedGraph:
     return _finalize(graph)
 
 
+@DATASETS.register("europe_air_sim", family="air_traffic", surrogate_of="Europe Air-Traffic")
 def make_europe_air_sim(seed: int = 0) -> AttributedGraph:
     """Europe air-traffic surrogate."""
     graph = attributed_sbm_graph(
@@ -116,6 +129,7 @@ def make_europe_air_sim(seed: int = 0) -> AttributedGraph:
     return _finalize(graph)
 
 
+@DATASETS.register("brazil_air_sim", family="air_traffic", surrogate_of="Brazil Air-Traffic")
 def make_brazil_air_sim(seed: int = 0) -> AttributedGraph:
     """Brazil air-traffic surrogate: the smallest network of the suite."""
     graph = attributed_sbm_graph(
@@ -136,52 +150,34 @@ def make_brazil_air_sim(seed: int = 0) -> AttributedGraph:
     return _finalize(graph)
 
 
-DATASET_BUILDERS: Dict[str, DatasetBuilder] = {
-    "cora_sim": make_cora_sim,
-    "citeseer_sim": make_citeseer_sim,
-    "pubmed_sim": make_pubmed_sim,
-    "usa_air_sim": make_usa_air_sim,
-    "europe_air_sim": make_europe_air_sim,
-    "brazil_air_sim": make_brazil_air_sim,
-}
-
-# Which real dataset each surrogate stands in for (documentation only).
+# Which real dataset each surrogate stands in for (derived from metadata).
 SURROGATE_OF: Dict[str, str] = {
-    "cora_sim": "Cora",
-    "citeseer_sim": "Citeseer",
-    "pubmed_sim": "Pubmed",
-    "usa_air_sim": "USA Air-Traffic",
-    "europe_air_sim": "Europe Air-Traffic",
-    "brazil_air_sim": "Brazil Air-Traffic",
+    name: DATASETS.metadata(name).get("surrogate_of", "") for name in DATASETS.names()
 }
 
 
 def available_datasets() -> List[str]:
     """Names of all registered datasets."""
-    return sorted(DATASET_BUILDERS)
+    return sorted(DATASETS.names())
 
 
 def citation_datasets() -> List[str]:
     """The citation-network surrogates (Tables 1-2 of the paper)."""
-    return ["cora_sim", "citeseer_sim", "pubmed_sim"]
+    return DATASETS.names(family="citation")
 
 
 def air_traffic_datasets() -> List[str]:
     """The air-traffic surrogates (Tables 3-4 of the paper)."""
-    return ["usa_air_sim", "europe_air_sim", "brazil_air_sim"]
+    return DATASETS.names(family="air_traffic")
 
 
 def load_dataset(name: str, seed: int = 0) -> AttributedGraph:
     """Build the named dataset deterministically for the given seed."""
-    if name not in DATASET_BUILDERS:
-        raise KeyError(
-            f"unknown dataset {name!r}; available: {', '.join(available_datasets())}"
-        )
-    return DATASET_BUILDERS[name](seed)
+    return DATASETS.build(name, seed)
 
 
 def dataset_summary(name: str, seed: int = 0) -> dict:
     """Descriptive statistics of a named dataset (nodes, edges, homophily...)."""
     summary = describe(load_dataset(name, seed))
-    summary["surrogate_of"] = SURROGATE_OF.get(name, "")
+    summary["surrogate_of"] = DATASETS.metadata(name).get("surrogate_of", "")
     return summary

@@ -1,0 +1,51 @@
+"""Exception hierarchy shared across the repro package.
+
+Every error raised by the public API derives from :class:`ReproError` so
+callers can catch one base class.  The concrete classes additionally derive
+from the builtin exception users would naturally expect (``KeyError`` for
+failed registry lookups, ``ValueError`` for bad configuration), which keeps
+pre-existing ``except KeyError`` / ``except ValueError`` call sites working.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every repro-specific error."""
+
+
+class UnknownEntryError(ReproError, KeyError):
+    """A registry lookup failed: the name is not registered.
+
+    Subclasses ``KeyError`` because registries behave like mappings.
+    """
+
+    def __init__(self, kind: str, name: str, available) -> None:
+        self.kind = kind
+        self.name = name
+        self.available = list(available)
+        message = (
+            f"unknown {kind} {name!r}; available: {', '.join(self.available) or '(none)'}"
+        )
+        super().__init__(message)
+
+    def __str__(self) -> str:  # KeyError.__str__ would repr() the message
+        return self.args[0]
+
+
+class ConfigError(ReproError, ValueError):
+    """A configuration object failed validation."""
+
+
+class UnknownVariantError(ReproError, ValueError):
+    """A trial variant other than "base" or "rethink" was requested."""
+
+    def __init__(self, variant: str) -> None:
+        self.variant = variant
+        super().__init__(
+            f"unknown variant {variant!r}; expected 'base' or 'rethink'"
+        )
+
+
+class SpecError(ReproError, ValueError):
+    """A run specification is malformed or cannot be deserialised."""

@@ -1,11 +1,15 @@
-"""Ablation studies of Tables 6, 7, 8 and 9."""
+"""Ablation studies of Tables 6, 7, 8 and 9.
+
+Each ablation is one :class:`repro.api.Pipeline` run with the relevant
+R- config fields overridden, always from a shared pretraining snapshot.
+"""
 
 from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
-from repro.core.rethink import RethinkConfig, RethinkTrainer
-from repro.experiments.config import ExperimentConfig, rethink_hyperparameters
+from repro.api.pipeline import Pipeline
+from repro.experiments.config import ExperimentConfig
 from repro.graph.graph import AttributedGraph
 from repro.models import build_model
 
@@ -19,19 +23,17 @@ def _run_with_overrides(
     **overrides,
 ) -> Dict[str, float]:
     """Train an R- model from a shared pretraining state with config overrides."""
-    model = build_model(model_name, graph.num_features, graph.num_clusters, seed=seed)
-    model.load_state_dict(state)
-    hyper = rethink_hyperparameters(graph.name, model_name)
-    settings = dict(
-        alpha1=hyper["alpha1"],
-        update_omega_every=hyper["update_omega_every"],
-        update_graph_every=hyper["update_graph_every"],
-        epochs=config.rethink_epochs,
+    result = (
+        Pipeline()
+        .graph(graph)
+        .model(model_name)
+        .seed(seed)
+        .pretrained_state(state)
+        .training(rethink_epochs=config.rethink_epochs)
+        .rethink(**overrides)
+        .run()
     )
-    settings.update(overrides)
-    trainer = RethinkTrainer(model, RethinkConfig(**settings))
-    history = trainer.fit(graph, pretrained=True)
-    return history.final_report.as_dict()
+    return result.report.as_dict()
 
 
 def _shared_pretraining(model_name: str, graph: AttributedGraph, config: ExperimentConfig, seed: int):

@@ -1,8 +1,10 @@
 """Learning-dynamics studies behind Figures 4, 5, 6, 9 and 10.
 
-* :func:`learning_dynamics_study` trains an R- model with full tracking and
-  returns the growth of the decidable set Ω, the per-group accuracies, the
-  link bookkeeping of the operator-built graph, and the Λ_FR / Λ_FD traces.
+* :func:`learning_dynamics_study` trains an R- model with the tracking
+  callbacks attached (``dynamics``, ``fr_fd``, ``graph_snapshots`` from the
+  callback registry) and returns the growth of the decidable set Ω, the
+  per-group accuracies, the link bookkeeping of the operator-built graph,
+  and the Λ_FR / Λ_FD traces.
 * :func:`latent_separability_study` compares the latent spaces of a D / R-D
   pair over training (the quantitative counterpart of the t-SNE plots of
   Figure 10): a 2-D PCA projection plus a cluster-separability ratio.
@@ -14,6 +16,7 @@ from typing import Dict, Optional
 
 import numpy as np
 
+from repro.api.pipeline import Pipeline
 from repro.core.rethink import RethinkConfig, RethinkTrainer
 from repro.experiments.config import ExperimentConfig, rethink_hyperparameters
 from repro.graph.graph import AttributedGraph
@@ -38,25 +41,31 @@ def learning_dynamics_study(
     statistics (star-subgraph counts of the snapshots, used by Figure 4).
     """
     config = config or ExperimentConfig.fast()
-    model = build_model(model_name, graph.num_features, graph.num_clusters, seed=seed)
-    model.pretrain(graph, epochs=config.pretrain_epochs)
-    hyper = rethink_hyperparameters(graph.name, model_name)
-    trainer = RethinkTrainer(
-        model,
-        RethinkConfig(
-            alpha1=hyper["alpha1"],
-            update_omega_every=hyper["update_omega_every"],
-            update_graph_every=hyper["update_graph_every"],
-            epochs=config.rethink_epochs,
-            track_fr=track_fr and model_group(model_name) == "second",
-            track_fd=track_fd,
-            track_dynamics=True,
+    result = (
+        Pipeline()
+        .graph(graph)
+        .model(model_name)
+        .seed(seed)
+        .training(
+            pretrain_epochs=config.pretrain_epochs,
+            rethink_epochs=config.rethink_epochs,
+        )
+        .rethink(
             evaluate_every=max(1, config.rethink_epochs // 10),
-            snapshot_graph_every=snapshot_every,
             stop_at_convergence=False,
-        ),
+        )
+        .callbacks(
+            "dynamics",
+            {
+                "name": "fr_fd",
+                "track_fr": track_fr and model_group(model_name) == "second",
+                "track_fd": track_fd,
+            },
+            {"name": "graph_snapshots", "every": snapshot_every},
+        )
+        .run()
     )
-    history = trainer.fit(graph, pretrained=True)
+    history = result.history
     snapshots_summary = {
         epoch: {
             "num_edges": int(np.triu(snapshot > 0, k=1).sum()),
@@ -102,7 +111,13 @@ def latent_separability_study(
     seed: int = 0,
     checkpoints: int = 4,
 ) -> Dict:
-    """Figure 10 counterpart: separability of D vs R-D latent spaces over training."""
+    """Figure 10 counterpart: separability of D vs R-D latent spaces over training.
+
+    The chunked, incremental protocol (resuming training of the *same*
+    model object between checkpoints) is below the granularity of a
+    :class:`~repro.api.Pipeline` run, so this study drives the
+    :class:`~repro.core.rethink.RethinkTrainer` directly.
+    """
     config = config or ExperimentConfig.fast()
     # Shared pretraining.
     pretrain_model = build_model(model_name, graph.num_features, graph.num_clusters, seed=seed)

@@ -2,7 +2,8 @@
 
 Each study compares DGAE against R-DGAE (or any other model pair) on
 progressively corrupted copies of a graph, always corrupting both variants
-identically and sharing the pretraining weights, as in the paper.
+identically and sharing the pretraining weights, as in the paper.  The
+corrupted graphs bypass the dataset registry via ``Pipeline.graph(...)``.
 """
 
 from __future__ import annotations
@@ -11,8 +12,8 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.core.rethink import RethinkConfig, RethinkTrainer
-from repro.experiments.config import ExperimentConfig, rethink_hyperparameters
+from repro.api.pipeline import Pipeline
+from repro.experiments.config import ExperimentConfig
 from repro.graph.graph import AttributedGraph
 from repro.graph.ops import (
     add_feature_noise,
@@ -20,9 +21,7 @@ from repro.graph.ops import (
     drop_random_edges,
     drop_random_features,
 )
-from repro.metrics.report import evaluate_clustering
 from repro.models import build_model
-from repro.models.registry import model_group
 
 
 def _run_pair_on_graph(
@@ -36,28 +35,22 @@ def _run_pair_on_graph(
     pretrain_model.pretrain(graph, epochs=config.pretrain_epochs)
     state = pretrain_model.state_dict()
 
-    base = build_model(model_name, graph.num_features, graph.num_clusters, seed=seed)
-    base.load_state_dict(state)
-    if model_group(model_name) == "second":
-        base.fit_clustering(graph, epochs=config.clustering_epochs)
-    base_report = evaluate_clustering(graph.labels, base.predict_labels(graph))
-
-    rethought = build_model(model_name, graph.num_features, graph.num_clusters, seed=seed)
-    rethought.load_state_dict(state)
-    hyper = rethink_hyperparameters(graph.name, model_name)
-    trainer = RethinkTrainer(
-        rethought,
-        RethinkConfig(
-            alpha1=hyper["alpha1"],
-            update_omega_every=hyper["update_omega_every"],
-            update_graph_every=hyper["update_graph_every"],
-            epochs=config.rethink_epochs,
-        ),
+    shared = (
+        Pipeline()
+        .graph(graph)
+        .model(model_name)
+        .seed(seed)
+        .pretrained_state(state)
+        .training(
+            clustering_epochs=config.clustering_epochs,
+            rethink_epochs=config.rethink_epochs,
+        )
     )
-    history = trainer.fit(graph, pretrained=True)
+    base_result = shared.base().run()
+    rethink_result = shared.rethink().run()
     return {
-        "base": base_report.as_dict(),
-        "rethink": history.final_report.as_dict(),
+        "base": base_result.report.as_dict(),
+        "rethink": rethink_result.report.as_dict(),
     }
 
 

@@ -5,23 +5,27 @@ seed) it pretrains the base model once, snapshots the weights, finishes
 training the base model, and trains the R- version from the *same* pretrain
 snapshot (the paper's fairness protocol: "each couple of methods D and R-D
 share the same pretraining weights").
+
+Both variants are executed through :class:`repro.api.Pipeline`; the
+functions here keep their historical signatures and
+:class:`TrialResult` / :class:`PairResult` return types as the stable
+aggregation layer on top of it.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.core.rethink import RethinkConfig, RethinkTrainer
+from repro.api.pipeline import Pipeline, RunResult
 from repro.datasets import load_dataset
-from repro.experiments.config import ExperimentConfig, rethink_hyperparameters
+from repro.errors import UnknownVariantError
+from repro.experiments.config import ExperimentConfig
 from repro.graph.graph import AttributedGraph
-from repro.metrics.report import ClusteringReport, evaluate_clustering
+from repro.metrics.report import ClusteringReport
 from repro.models import build_model
-from repro.models.registry import model_group
 
 
 @dataclass
@@ -36,6 +40,22 @@ class TrialResult:
     runtime_seconds: float
     extra: Dict = field(default_factory=dict)
 
+    @classmethod
+    def from_run_result(cls, result: RunResult) -> "TrialResult":
+        """Adapt a :class:`~repro.api.pipeline.RunResult` to the legacy shape."""
+        extra: Dict = {}
+        if result.history is not None:
+            extra["history"] = result.history
+        return cls(
+            model=result.spec.model.name,
+            dataset=result.spec.dataset.name,
+            seed=result.spec.seed,
+            variant=result.spec.variant,
+            report=result.report,
+            runtime_seconds=result.runtime_seconds,
+            extra=extra,
+        )
+
 
 @dataclass
 class PairResult:
@@ -46,17 +66,24 @@ class PairResult:
     base_trials: List[TrialResult] = field(default_factory=list)
     rethink_trials: List[TrialResult] = field(default_factory=list)
 
+    def trials(self, variant: str) -> List[TrialResult]:
+        """The trials of one variant; unknown variants raise a typed error."""
+        if variant == "base":
+            return self.base_trials
+        if variant == "rethink":
+            return self.rethink_trials
+        raise UnknownVariantError(variant)
+
     def best(self, variant: str) -> ClusteringReport:
         """Best-accuracy report among the trials of a variant."""
-        trials = self.base_trials if variant == "base" else self.rethink_trials
+        trials = self.trials(variant)
         if not trials:
             raise ValueError(f"no trials recorded for variant {variant!r}")
         return max(trials, key=lambda t: t.report.accuracy).report
 
     def mean_std(self, variant: str) -> Dict[str, Dict[str, float]]:
         """Mean and standard deviation of ACC/NMI/ARI for a variant."""
-        trials = self.base_trials if variant == "base" else self.rethink_trials
-        return aggregate_reports([t.report for t in trials])
+        return aggregate_reports([t.report for t in self.trials(variant)])
 
 
 def aggregate_reports(reports: Sequence[ClusteringReport]) -> Dict[str, Dict[str, float]]:
@@ -70,6 +97,30 @@ def aggregate_reports(reports: Sequence[ClusteringReport]) -> Dict[str, Dict[str
     }
 
 
+def trial_pipeline(
+    model_name: str,
+    graph: AttributedGraph,
+    config: ExperimentConfig,
+    seed: int,
+    pretrained_state: Optional[Dict[str, np.ndarray]] = None,
+) -> Pipeline:
+    """Common pipeline prefix shared by the base and rethink runners."""
+    pipeline = (
+        Pipeline()
+        .graph(graph)
+        .model(model_name)
+        .seed(seed)
+        .training(
+            pretrain_epochs=config.pretrain_epochs,
+            clustering_epochs=config.clustering_epochs,
+            rethink_epochs=config.rethink_epochs,
+        )
+    )
+    if pretrained_state is not None:
+        pipeline = pipeline.pretrained_state(pretrained_state)
+    return pipeline
+
+
 def run_baseline_model(
     model_name: str,
     graph: AttributedGraph,
@@ -78,24 +129,8 @@ def run_baseline_model(
     pretrained_state: Optional[Dict[str, np.ndarray]] = None,
 ) -> TrialResult:
     """Train the original model D and evaluate its clustering."""
-    start = time.perf_counter()
-    model = build_model(model_name, graph.num_features, graph.num_clusters, seed=seed)
-    if pretrained_state is not None:
-        model.load_state_dict(pretrained_state)
-    else:
-        model.pretrain(graph, epochs=config.pretrain_epochs)
-    if model_group(model_name) == "second":
-        model.fit_clustering(graph, epochs=config.clustering_epochs)
-    labels = model.predict_labels(graph)
-    runtime = time.perf_counter() - start
-    return TrialResult(
-        model=model_name,
-        dataset=graph.name,
-        seed=seed,
-        variant="base",
-        report=evaluate_clustering(graph.labels, labels),
-        runtime_seconds=runtime,
-    )
+    pipeline = trial_pipeline(model_name, graph, config, seed, pretrained_state).base()
+    return TrialResult.from_run_result(pipeline.run())
 
 
 def run_rethink_model(
@@ -107,33 +142,10 @@ def run_rethink_model(
     rethink_overrides: Optional[Dict] = None,
 ) -> TrialResult:
     """Train the R- variant of a model and evaluate its clustering."""
-    start = time.perf_counter()
-    model = build_model(model_name, graph.num_features, graph.num_clusters, seed=seed)
-    pretrained = pretrained_state is not None
-    if pretrained:
-        model.load_state_dict(pretrained_state)
-    hyper = rethink_hyperparameters(graph.name, model_name)
-    settings = dict(
-        alpha1=hyper["alpha1"],
-        update_omega_every=hyper["update_omega_every"],
-        update_graph_every=hyper["update_graph_every"],
-        epochs=config.rethink_epochs,
-        pretrain_epochs=config.pretrain_epochs,
+    pipeline = trial_pipeline(model_name, graph, config, seed, pretrained_state).rethink(
+        **(rethink_overrides or {})
     )
-    if rethink_overrides:
-        settings.update(rethink_overrides)
-    trainer = RethinkTrainer(model, RethinkConfig(**settings))
-    history = trainer.fit(graph, pretrained=pretrained)
-    runtime = time.perf_counter() - start
-    return TrialResult(
-        model=model_name,
-        dataset=graph.name,
-        seed=seed,
-        variant="rethink",
-        report=history.final_report,
-        runtime_seconds=runtime,
-        extra={"history": history},
-    )
+    return TrialResult.from_run_result(pipeline.run())
 
 
 def run_model_pair(

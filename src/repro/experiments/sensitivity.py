@@ -1,15 +1,17 @@
-"""Hyper-parameter sensitivity studies (Figures 11, 12 and 13)."""
+"""Hyper-parameter sensitivity studies (Figures 11, 12 and 13).
+
+Each grid point is one :class:`repro.api.Pipeline` run from a shared
+pretraining snapshot, with the swept hyper-parameter as an R- override.
+"""
 
 from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
-from repro.core.rethink import RethinkConfig, RethinkTrainer
-from repro.experiments.config import ExperimentConfig, rethink_hyperparameters
+from repro.api.pipeline import Pipeline
+from repro.experiments.config import ExperimentConfig
 from repro.graph.graph import AttributedGraph
-from repro.metrics.report import evaluate_clustering
 from repro.models import build_model
-from repro.models.registry import model_group
 
 
 def threshold_sensitivity_study(
@@ -29,29 +31,24 @@ def threshold_sensitivity_study(
     pretrain_model = build_model(model_name, graph.num_features, graph.num_clusters, seed=seed)
     pretrain_model.pretrain(graph, epochs=config.pretrain_epochs)
     state = pretrain_model.state_dict()
-    hyper = rethink_hyperparameters(graph.name, model_name)
+    shared = (
+        Pipeline()
+        .graph(graph)
+        .model(model_name)
+        .seed(seed)
+        .pretrained_state(state)
+        .training(rethink_epochs=config.rethink_epochs)
+    )
     results: List[Dict] = []
     for alpha1 in alpha1_values:
         for alpha2 in alpha2_values:
-            model = build_model(model_name, graph.num_features, graph.num_clusters, seed=seed)
-            model.load_state_dict(state)
-            trainer = RethinkTrainer(
-                model,
-                RethinkConfig(
-                    alpha1=alpha1,
-                    alpha2=alpha2,
-                    update_omega_every=hyper["update_omega_every"],
-                    update_graph_every=hyper["update_graph_every"],
-                    epochs=config.rethink_epochs,
-                ),
-            )
-            history = trainer.fit(graph, pretrained=True)
+            result = shared.rethink(alpha1=alpha1, alpha2=alpha2).run()
             results.append(
                 {
                     "alpha1": alpha1,
                     "alpha2": alpha2,
-                    **history.final_report.as_dict(),
-                    "final_coverage": history.omega_coverage[-1],
+                    **result.report.as_dict(),
+                    "final_coverage": result.history.omega_coverage[-1],
                 }
             )
     return results
@@ -74,37 +71,26 @@ def gamma_sensitivity_study(
     pretrain_model = build_model(model_name, graph.num_features, graph.num_clusters, seed=seed)
     pretrain_model.pretrain(graph, epochs=config.pretrain_epochs)
     state = pretrain_model.state_dict()
-    hyper = rethink_hyperparameters(graph.name, model_name)
     results: List[Dict] = []
     for gamma in gamma_values:
-        base = build_model(
-            model_name, graph.num_features, graph.num_clusters, seed=seed, gamma=gamma
+        shared = (
+            Pipeline()
+            .graph(graph)
+            .model(model_name, gamma=gamma)
+            .seed(seed)
+            .pretrained_state(state)
+            .training(
+                clustering_epochs=config.clustering_epochs,
+                rethink_epochs=config.rethink_epochs,
+            )
         )
-        base.load_state_dict(state)
-        if model_group(model_name) == "second":
-            base.fit_clustering(graph, epochs=config.clustering_epochs)
-        base_report = evaluate_clustering(graph.labels, base.predict_labels(graph))
-
-        rethought = build_model(
-            model_name, graph.num_features, graph.num_clusters, seed=seed, gamma=gamma
-        )
-        rethought.load_state_dict(state)
-        trainer = RethinkTrainer(
-            rethought,
-            RethinkConfig(
-                alpha1=hyper["alpha1"],
-                update_omega_every=hyper["update_omega_every"],
-                update_graph_every=hyper["update_graph_every"],
-                epochs=config.rethink_epochs,
-                gamma=gamma,
-            ),
-        )
-        history = trainer.fit(graph, pretrained=True)
+        base_result = shared.base().run()
+        rethink_result = shared.rethink(gamma=gamma).run()
         results.append(
             {
                 "gamma": gamma,
-                "base": base_report.as_dict(),
-                "rethink": history.final_report.as_dict(),
+                "base": base_result.report.as_dict(),
+                "rethink": rethink_result.report.as_dict(),
             }
         )
     return results

@@ -2,21 +2,19 @@
 
 The paper's claim is that the operators Ξ and Υ add no significant runtime
 overhead; this module times full training runs of both variants on the same
-dataset with shared pretraining budgets.
+dataset, via :class:`repro.api.Pipeline` (whose ``RunResult`` carries the
+wall-clock runtime of the whole trial).
 """
 
 from __future__ import annotations
 
-import time
 from typing import Dict, List, Optional
 
 import numpy as np
 
-from repro.core.rethink import RethinkConfig, RethinkTrainer
-from repro.experiments.config import ExperimentConfig, rethink_hyperparameters
+from repro.api.pipeline import Pipeline
+from repro.experiments.config import ExperimentConfig
 from repro.graph.graph import AttributedGraph
-from repro.models import build_model
-from repro.models.registry import model_group
 
 
 def runtime_comparison(
@@ -34,34 +32,22 @@ def runtime_comparison(
     config = config or ExperimentConfig.fast()
     timings: Dict[str, List[float]] = {"base": [], "rethink": []}
     for run in range(num_runs):
-        run_seed = seed + run
-        # Base model D.
-        start = time.perf_counter()
-        base = build_model(model_name, graph.num_features, graph.num_clusters, seed=run_seed)
-        base.pretrain(graph, epochs=config.pretrain_epochs)
-        if model_group(model_name) == "second":
-            base.fit_clustering(graph, epochs=config.clustering_epochs)
-        base.predict_labels(graph)
-        timings["base"].append(time.perf_counter() - start)
-
-        # R- variant with the same budget for the clustering phase.
-        start = time.perf_counter()
-        rethought = build_model(model_name, graph.num_features, graph.num_clusters, seed=run_seed)
-        rethought.pretrain(graph, epochs=config.pretrain_epochs)
-        hyper = rethink_hyperparameters(graph.name, model_name)
-        trainer = RethinkTrainer(
-            rethought,
-            RethinkConfig(
-                alpha1=hyper["alpha1"],
-                update_omega_every=hyper["update_omega_every"],
-                update_graph_every=hyper["update_graph_every"],
-                epochs=config.clustering_epochs,
-                stop_at_convergence=False,
-            ),
+        shared = (
+            Pipeline()
+            .graph(graph)
+            .model(model_name)
+            .seed(seed + run)
+            .training(
+                pretrain_epochs=config.pretrain_epochs,
+                clustering_epochs=config.clustering_epochs,
+                # Same clustering budget for both variants (Table 5 protocol).
+                rethink_epochs=config.clustering_epochs,
+            )
         )
-        trainer.fit(graph, pretrained=True)
-        rethought.predict_labels(graph)
-        timings["rethink"].append(time.perf_counter() - start)
+        timings["base"].append(shared.base().run().runtime_seconds)
+        timings["rethink"].append(
+            shared.rethink(stop_at_convergence=False).run().runtime_seconds
+        )
 
     def summarise(values: List[float]) -> Dict[str, float]:
         return {

@@ -24,9 +24,16 @@ from repro.models.argae import ARGAE
 from repro.models.arvgae import ARVGAE
 from repro.models.gmm_vgae import GMMVGAE
 from repro.models.dgae import DGAE
-from repro.models.registry import MODEL_BUILDERS, build_model, available_models, model_group
+from repro.models.registry import (
+    MODELS,
+    MODEL_BUILDERS,
+    build_model,
+    available_models,
+    model_group,
+)
 
 __all__ = [
+    "MODELS",
     "GAEClusteringModel",
     "GCNEncoder",
     "VariationalGCNEncoder",

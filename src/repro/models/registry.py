@@ -1,9 +1,17 @@
-"""Model registry: build any of the six GAE models by name."""
+"""Model registry: build any of the six GAE models by name.
+
+Backed by the generic :class:`repro.api.registry.Registry` protocol; each
+entry carries its paper group ("first" = separate clustering, "second" =
+joint clustering) as queryable metadata.  The legacy names
+(``MODEL_BUILDERS``, ``FIRST_GROUP``, ``SECOND_GROUP``) are kept as thin
+views over the registry.
+"""
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+from typing import List
 
+from repro.api.registry import Registry
 from repro.models.argae import ARGAE
 from repro.models.arvgae import ARVGAE
 from repro.models.base import GAEClusteringModel
@@ -12,33 +20,37 @@ from repro.models.gae import GAE
 from repro.models.gmm_vgae import GMMVGAE
 from repro.models.vgae import VGAE
 
-MODEL_BUILDERS: Dict[str, Callable[..., GAEClusteringModel]] = {
-    "gae": GAE,
-    "vgae": VGAE,
-    "argae": ARGAE,
-    "arvgae": ARVGAE,
-    "gmm_vgae": GMMVGAE,
-    "dgae": DGAE,
-}
+#: the unified model registry (name → model class, with group metadata).
+MODELS = Registry("model")
+MODELS.add("gae", GAE, group="first", variational=False)
+MODELS.add("vgae", VGAE, group="first", variational=True)
+MODELS.add("argae", ARGAE, group="first", variational=False)
+MODELS.add("arvgae", ARVGAE, group="first", variational=True)
+MODELS.add("dgae", DGAE, group="second", variational=False)
+MODELS.add("gmm_vgae", GMMVGAE, group="second", variational=True)
+
+#: deprecated alias — a Mapping view over :data:`MODELS`.
+MODEL_BUILDERS = MODELS
+
+
+def _group_members(group: str) -> List[str]:
+    return MODELS.names(group=group)
+
 
 #: the paper's first-group models (separate clustering).
-FIRST_GROUP = ["gae", "vgae", "argae", "arvgae"]
+FIRST_GROUP = _group_members("first")
 #: the paper's second-group models (joint clustering).
-SECOND_GROUP = ["dgae", "gmm_vgae"]
+SECOND_GROUP = _group_members("second")
 
 
 def available_models() -> List[str]:
     """Names of all registered models."""
-    return sorted(MODEL_BUILDERS)
+    return sorted(MODELS.names())
 
 
 def model_group(name: str) -> str:
     """Return "first" or "second" for a registered model name."""
-    if name in FIRST_GROUP:
-        return "first"
-    if name in SECOND_GROUP:
-        return "second"
-    raise KeyError(f"unknown model {name!r}")
+    return MODELS.metadata(name)["group"]
 
 
 def build_model(
@@ -49,8 +61,6 @@ def build_model(
     **kwargs,
 ) -> GAEClusteringModel:
     """Instantiate a registered model with the given data dimensions."""
-    if name not in MODEL_BUILDERS:
-        raise KeyError(f"unknown model {name!r}; available: {', '.join(available_models())}")
-    return MODEL_BUILDERS[name](
-        num_features=num_features, num_clusters=num_clusters, seed=seed, **kwargs
+    return MODELS.build(
+        name, num_features=num_features, num_clusters=num_clusters, seed=seed, **kwargs
     )
