@@ -83,9 +83,13 @@ class GaussianMixture:
             members = data[kmeans.labels_ == k]
             if members.shape[0] > 1:
                 self.variances_[k] = members.var(axis=0) + self.reg_covar
-        _, counts = np.unique(kmeans.labels_, return_counts=True)
-        weights = np.full(self.num_components, 1.0 / self.num_components)
-        weights[: counts.shape[0]] = counts / data.shape[0]
+        # np.bincount keeps counts aligned with component indices even when
+        # k-means leaves a cluster empty (np.unique would compact the counts
+        # and credit them to the wrong components); empty components fall
+        # back to the uniform prior so EM can still revive them.
+        counts = np.bincount(kmeans.labels_, minlength=self.num_components)
+        weights = counts / data.shape[0]
+        weights[counts == 0] = 1.0 / self.num_components
         self.weights_ = weights / weights.sum()
 
         previous = -np.inf

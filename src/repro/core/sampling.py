@@ -42,7 +42,13 @@ class SamplingResult:
 
     def coverage(self) -> float:
         """|Ω| / N — the fraction driving the convergence criterion."""
-        return self.num_reliable / self.soft_assignments.shape[0]
+        num_nodes = self.soft_assignments.shape[0]
+        if num_nodes == 0:
+            raise ValueError(
+                "coverage() is undefined for an empty graph (0 nodes); "
+                "the sampling operator received no assignments"
+            )
+        return self.num_reliable / num_nodes
 
     def mask(self) -> np.ndarray:
         """Boolean mask of decidable nodes."""

@@ -1,6 +1,11 @@
 """Graph substrate: containers, normalisation, generators and graph edits."""
 
 from repro.graph.graph import AttributedGraph
+from repro.graph.sparse import (
+    SparseAdjacency,
+    as_sparse_adjacency,
+    propagation_matrix,
+)
 from repro.graph.laplacian import (
     degree_vector,
     degree_matrix,
@@ -8,6 +13,7 @@ from repro.graph.laplacian import (
     add_self_loops,
     graph_laplacian,
     laplacian_quadratic_form,
+    laplacian_quadratic_form_dense,
 )
 from repro.graph.generators import (
     stochastic_block_model,
@@ -34,6 +40,10 @@ from repro.graph.io import save_graph_npz, load_graph_npz
 
 __all__ = [
     "AttributedGraph",
+    "SparseAdjacency",
+    "as_sparse_adjacency",
+    "propagation_matrix",
+    "laplacian_quadratic_form_dense",
     "degree_vector",
     "degree_matrix",
     "normalize_adjacency",

@@ -5,44 +5,60 @@ The GCN layers use the symmetric normalisation
 analysis additionally needs the normalised adjacency *without* self loops
 (``~A_self`` in the paper) and the Laplacian quadratic form
 ``L_C(Z, A') = 1/2 sum_ij a'_ij ||z_i - z_j||^2``.
+
+Every public function accepts either a dense ``(N, N)`` array or a
+:class:`~repro.graph.sparse.SparseAdjacency` and dispatches on the type, so
+callers never need to materialise dense matrices to use the hot path.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Union
 
 import numpy as np
 
+from repro.graph.sparse import SparseAdjacency
 
-def degree_vector(adjacency: np.ndarray) -> np.ndarray:
+AdjacencyLike = Union[np.ndarray, SparseAdjacency]
+
+
+def degree_vector(adjacency: AdjacencyLike) -> np.ndarray:
     """Row-sum degree vector of an adjacency matrix."""
+    if isinstance(adjacency, SparseAdjacency):
+        return adjacency.out_degrees().copy()
     return np.asarray(adjacency, dtype=np.float64).sum(axis=1)
 
 
-def degree_matrix(adjacency: np.ndarray) -> np.ndarray:
+def degree_matrix(adjacency: AdjacencyLike) -> np.ndarray:
     """Diagonal degree matrix."""
     return np.diag(degree_vector(adjacency))
 
 
-def add_self_loops(adjacency: np.ndarray) -> np.ndarray:
-    """Return ``A + I`` (without modifying the input)."""
+def add_self_loops(adjacency: AdjacencyLike) -> AdjacencyLike:
+    """Return ``A + I`` (without modifying the input); preserves the backend."""
+    if isinstance(adjacency, SparseAdjacency):
+        return adjacency.add_self_loops()
     adjacency = np.asarray(adjacency, dtype=np.float64)
     return adjacency + np.eye(adjacency.shape[0])
 
 
-def normalize_adjacency(adjacency: np.ndarray, self_loops: bool = True) -> np.ndarray:
+def normalize_adjacency(adjacency: AdjacencyLike, self_loops: bool = True) -> AdjacencyLike:
     """Symmetrically normalised adjacency ``D^{-1/2} A D^{-1/2}``.
 
     Parameters
     ----------
     adjacency:
-        Binary (or weighted) symmetric adjacency matrix.
+        Binary (or weighted) symmetric adjacency matrix — dense array or
+        :class:`~repro.graph.sparse.SparseAdjacency` (the result matches the
+        input backend).
     self_loops:
         If True (default), self loops are added before normalisation, giving
         the GCN propagation matrix.  If False the paper's ``~A_self`` matrix
         is returned (used by the FD analysis).
     Isolated nodes (zero degree) receive a zero row/column instead of NaNs.
     """
+    if isinstance(adjacency, SparseAdjacency):
+        return adjacency.normalize(self_loops=self_loops)
     adjacency = np.asarray(adjacency, dtype=np.float64)
     if self_loops:
         adjacency = add_self_loops(adjacency)
@@ -53,8 +69,10 @@ def normalize_adjacency(adjacency: np.ndarray, self_loops: bool = True) -> np.nd
     return adjacency * inv_sqrt[:, None] * inv_sqrt[None, :]
 
 
-def graph_laplacian(adjacency: np.ndarray, normalized: bool = False) -> np.ndarray:
-    """Combinatorial (``D - A``) or symmetric normalised Laplacian."""
+def graph_laplacian(adjacency: AdjacencyLike, normalized: bool = False) -> np.ndarray:
+    """Combinatorial (``D - A``) or symmetric normalised Laplacian (dense)."""
+    if isinstance(adjacency, SparseAdjacency):
+        adjacency = adjacency.to_dense()
     adjacency = np.asarray(adjacency, dtype=np.float64)
     if not normalized:
         return degree_matrix(adjacency) - adjacency
@@ -62,18 +80,49 @@ def graph_laplacian(adjacency: np.ndarray, normalized: bool = False) -> np.ndarr
     return np.eye(adjacency.shape[0]) - norm
 
 
-def laplacian_quadratic_form(embeddings: np.ndarray, adjacency: np.ndarray) -> float:
+def laplacian_quadratic_form(embeddings: np.ndarray, adjacency: AdjacencyLike) -> float:
     """The paper's graph-weighted loss ``L_C(Z, A') = 1/2 Σ a'_ij ||z_i - z_j||²``.
 
-    Computed via the Laplacian identity ``tr(Z^T L Z)`` for efficiency; works
-    for arbitrary non-negative weight matrices ``A'`` (clustering graph,
-    supervision graph, normalised self-supervision graph, or any linear
-    combination of them).
+    Sparse inputs (and sparse-enough dense matrices) are computed *edge-wise*
+    in O(|E| d): the cross term ``Σ a_ij z_i·z_j`` is accumulated over the
+    non-zero entries only, so the dense ``Z Zᵀ`` Gram matrix is never built.
+    Dense weight matrices above ``SPARSE_DENSITY_THRESHOLD`` (e.g. the
+    membership graphs of Proposition 2, nnz ≈ N²/K) keep the Gram-identity
+    path, which is faster and lighter when most entries are non-zero.
+
+    Works for arbitrary (possibly asymmetric) non-negative weight matrices
+    ``A'`` — the clustering graph, supervision graph, normalised
+    self-supervision graph, or any linear combination of them.
+    """
+    from repro.graph.sparse import SPARSE_DENSITY_THRESHOLD
+
+    z = np.asarray(embeddings, dtype=np.float64)
+    # 1/2 Σ_ij a_ij (||z_i||² + ||z_j||² - 2 z_i·z_j)
+    sq_norms = np.sum(z ** 2, axis=1)
+    if not isinstance(adjacency, SparseAdjacency):
+        a = np.asarray(adjacency, dtype=np.float64)
+        n = a.shape[0]
+        density = float(np.count_nonzero(a)) / (n * n) if n else 0.0
+        if density > SPARSE_DENSITY_THRESHOLD:
+            return laplacian_quadratic_form_dense(z, a)
+        adjacency = SparseAdjacency.from_dense(a)
+    row_deg = adjacency.out_degrees()
+    col_deg = adjacency.in_degrees()
+    cross = adjacency.quadratic_form_cross_term(z)
+    return float(0.5 * (row_deg @ sq_norms + col_deg @ sq_norms) - cross)
+
+
+def laplacian_quadratic_form_dense(embeddings: np.ndarray, adjacency: np.ndarray) -> float:
+    """Reference O(N² d) implementation via the dense Gram matrix ``Z Zᵀ``.
+
+    Kept for the equivalence tests and the dense baseline of
+    ``benchmarks/bench_sparse.py``; production code should call
+    :func:`laplacian_quadratic_form`.
     """
     z = np.asarray(embeddings, dtype=np.float64)
+    if isinstance(adjacency, SparseAdjacency):
+        adjacency = adjacency.to_dense()
     a = np.asarray(adjacency, dtype=np.float64)
-    # 1/2 Σ_ij a_ij (||z_i||² + ||z_j||² - 2 z_i·z_j), valid for arbitrary
-    # (possibly asymmetric) non-negative weight matrices.
     sq_norms = np.sum(z ** 2, axis=1)
     row_deg = a.sum(axis=1)
     col_deg = a.sum(axis=0)

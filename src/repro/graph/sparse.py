@@ -1,0 +1,399 @@
+"""CSR sparse adjacency backend for the propagation hot path.
+
+Every GCN propagation, adjacency normalisation and Laplacian quadratic form
+in this code base was originally computed over dense ``(N, N)`` matrices,
+which costs O(N² d) time and O(N²) memory per step.  Real attributed graphs
+are extremely sparse (|E| ≪ N²), so this module provides a compressed
+sparse row (CSR) representation — :class:`SparseAdjacency` — together with
+the handful of operations the hot path needs:
+
+* construction from a dense matrix, a COO triple or an undirected edge list,
+* symmetric normalisation ``D^{-1/2} (A + I) D^{-1/2}`` with the same
+  isolated-node handling as the dense :func:`repro.graph.laplacian.normalize_adjacency`,
+* sparse @ dense multiplication (``spmm``) in O(|E| d),
+* cached degrees and a cached transpose (for the autograd backward pass).
+
+The class is deliberately numpy-only: the library has no scipy dependency
+and the CI image installs numpy + pytest alone.  Everything downstream
+dispatches on the adjacency type, so dense arrays keep working unchanged;
+:func:`propagation_matrix` is the single place that decides which backend a
+model uses.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+__all__ = [
+    "SparseAdjacency",
+    "as_sparse_adjacency",
+    "propagation_matrix",
+    "SPARSE_NODE_THRESHOLD",
+    "SPARSE_DENSITY_THRESHOLD",
+]
+
+#: below this many nodes the dense BLAS path is at least as fast as CSR, and
+#: keeping the tiny seed graphs dense preserves bit-identical seed behaviour.
+SPARSE_NODE_THRESHOLD = 256
+
+#: above this edge density CSR stops paying for itself.
+SPARSE_DENSITY_THRESHOLD = 0.25
+
+
+class SparseAdjacency:
+    """A CSR-format sparse square matrix specialised for graph adjacencies.
+
+    Attributes
+    ----------
+    data:
+        (nnz,) float64 non-zero values, row-major.
+    indices:
+        (nnz,) int64 column index of each value.
+    indptr:
+        (N + 1,) int64 row pointer: row ``i`` owns ``data[indptr[i]:indptr[i+1]]``.
+    shape:
+        ``(N, N)``.
+
+    Instances are immutable by convention: every edit operation returns a new
+    object so cached degrees/transposes can never go stale.
+    """
+
+    __slots__ = (
+        "data",
+        "indices",
+        "indptr",
+        "shape",
+        "_out_degrees",
+        "_in_degrees",
+        "_transpose",
+        "_row_indices",
+    )
+
+    def __init__(
+        self,
+        data: np.ndarray,
+        indices: np.ndarray,
+        indptr: np.ndarray,
+        shape: Tuple[int, int],
+    ) -> None:
+        self.data = np.asarray(data, dtype=np.float64)
+        self.indices = np.asarray(indices, dtype=np.int64)
+        self.indptr = np.asarray(indptr, dtype=np.int64)
+        self.shape = (int(shape[0]), int(shape[1]))
+        if self.shape[0] != self.shape[1]:
+            raise ValueError(f"adjacency must be square, got shape {self.shape}")
+        if self.indptr.shape[0] != self.shape[0] + 1:
+            raise ValueError(
+                f"indptr must have N + 1 = {self.shape[0] + 1} entries, "
+                f"got {self.indptr.shape[0]}"
+            )
+        if self.data.shape != self.indices.shape:
+            raise ValueError("data and indices must have the same length")
+        if self.indices.size and (
+            self.indices.min() < 0 or self.indices.max() >= self.shape[1]
+        ):
+            raise ValueError("column indices out of range")
+        self._out_degrees: Optional[np.ndarray] = None
+        self._in_degrees: Optional[np.ndarray] = None
+        self._transpose: Optional["SparseAdjacency"] = None
+        self._row_indices: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dense(cls, dense: np.ndarray) -> "SparseAdjacency":
+        """Build from a dense (N, N) matrix, keeping only non-zero entries."""
+        dense = np.asarray(dense, dtype=np.float64)
+        if dense.ndim != 2 or dense.shape[0] != dense.shape[1]:
+            raise ValueError(f"adjacency must be square, got shape {dense.shape}")
+        rows, cols = np.nonzero(dense)
+        return cls._from_sorted_coo(rows, cols, dense[rows, cols], dense.shape)
+
+    @classmethod
+    def from_coo(
+        cls,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        values: np.ndarray,
+        num_nodes: int,
+    ) -> "SparseAdjacency":
+        """Build from coordinate triples; duplicate coordinates are summed."""
+        rows = np.asarray(rows, dtype=np.int64)
+        cols = np.asarray(cols, dtype=np.int64)
+        values = np.asarray(values, dtype=np.float64)
+        if not (rows.shape == cols.shape == values.shape):
+            raise ValueError("rows, cols and values must have the same length")
+        n = int(num_nodes)
+        if rows.size and (
+            rows.min() < 0 or rows.max() >= n or cols.min() < 0 or cols.max() >= n
+        ):
+            raise ValueError("coordinates out of range")
+        keys = rows * n + cols
+        unique_keys, inverse = np.unique(keys, return_inverse=True)
+        summed = np.bincount(inverse, weights=values, minlength=unique_keys.shape[0])
+        return cls._from_sorted_coo(
+            unique_keys // n, unique_keys % n, summed, (n, n)
+        )
+
+    @classmethod
+    def from_edges(
+        cls,
+        edges: np.ndarray,
+        num_nodes: int,
+        weights: Optional[np.ndarray] = None,
+        undirected: bool = True,
+    ) -> "SparseAdjacency":
+        """Build from an (E, 2) edge list.
+
+        With ``undirected=True`` (default) each listed edge ``(i, j)`` also
+        inserts ``(j, i)``; self loops are inserted once.  Duplicate edges
+        are summed (see :meth:`from_coo`).
+        """
+        edges = np.asarray(edges, dtype=np.int64)
+        if edges.size == 0:
+            edges = edges.reshape(0, 2)
+        if edges.ndim != 2 or edges.shape[1] != 2:
+            raise ValueError(f"edges must be (E, 2), got shape {edges.shape}")
+        rows, cols = edges[:, 0], edges[:, 1]
+        if weights is None:
+            values = np.ones(rows.shape[0], dtype=np.float64)
+        else:
+            values = np.asarray(weights, dtype=np.float64)
+            if values.shape != rows.shape:
+                raise ValueError("weights must align with edges")
+        if undirected:
+            off_diagonal = rows != cols
+            reverse_rows, reverse_cols = cols[off_diagonal], rows[off_diagonal]
+            rows = np.concatenate([rows, reverse_rows])
+            cols = np.concatenate([cols, reverse_cols])
+            values = np.concatenate([values, values[off_diagonal]])
+        return cls.from_coo(rows, cols, values, num_nodes)
+
+    @classmethod
+    def _from_sorted_coo(
+        cls,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        values: np.ndarray,
+        shape: Tuple[int, int],
+    ) -> "SparseAdjacency":
+        """Internal: build from coordinates already sorted by (row, col)."""
+        counts = np.bincount(rows, minlength=shape[0])
+        indptr = np.concatenate([[0], np.cumsum(counts)])
+        return cls(values, cols, indptr, shape)
+
+    # ------------------------------------------------------------------
+    # basic protocol
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return self.shape[0]
+
+    @property
+    def nnz(self) -> int:
+        """Number of stored (non-zero) entries."""
+        return int(self.data.shape[0])
+
+    @property
+    def density(self) -> float:
+        """nnz / N² (0.0 for the empty graph)."""
+        total = self.shape[0] * self.shape[1]
+        return self.nnz / total if total else 0.0
+
+    def __repr__(self) -> str:
+        return f"SparseAdjacency(shape={self.shape}, nnz={self.nnz})"
+
+    def coo(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Return ``(rows, cols, values)`` coordinate views of the matrix."""
+        return self.row_indices(), self.indices, self.data
+
+    def row_indices(self) -> np.ndarray:
+        """Expanded (nnz,) row index of every stored entry (cached)."""
+        if self._row_indices is None:
+            self._row_indices = np.repeat(
+                np.arange(self.shape[0], dtype=np.int64), np.diff(self.indptr)
+            )
+        return self._row_indices
+
+    def to_dense(self) -> np.ndarray:
+        """Materialise the dense (N, N) matrix."""
+        dense = np.zeros(self.shape, dtype=np.float64)
+        dense[self.row_indices(), self.indices] = self.data
+        return dense
+
+    def copy(self) -> "SparseAdjacency":
+        return SparseAdjacency(
+            self.data.copy(), self.indices.copy(), self.indptr.copy(), self.shape
+        )
+
+    # ------------------------------------------------------------------
+    # degrees
+    # ------------------------------------------------------------------
+    def out_degrees(self) -> np.ndarray:
+        """Row sums (cached) — the degree vector for symmetric adjacencies."""
+        if self._out_degrees is None:
+            self._out_degrees = np.bincount(
+                self.row_indices(), weights=self.data, minlength=self.shape[0]
+            )
+        return self._out_degrees
+
+    def in_degrees(self) -> np.ndarray:
+        """Column sums (cached)."""
+        if self._in_degrees is None:
+            self._in_degrees = np.bincount(
+                self.indices, weights=self.data, minlength=self.shape[1]
+            )
+        return self._in_degrees
+
+    # ------------------------------------------------------------------
+    # structural edits (each returns a new instance)
+    # ------------------------------------------------------------------
+    def add_self_loops(self, value: float = 1.0) -> "SparseAdjacency":
+        """Return ``A + value·I`` (existing diagonal entries are summed)."""
+        n = self.shape[0]
+        diag = np.arange(n, dtype=np.int64)
+        rows = np.concatenate([self.row_indices(), diag])
+        cols = np.concatenate([self.indices, diag])
+        values = np.concatenate([self.data, np.full(n, float(value))])
+        return SparseAdjacency.from_coo(rows, cols, values, n)
+
+    def scale(self, row_factors: np.ndarray, col_factors: np.ndarray) -> "SparseAdjacency":
+        """Return ``diag(row_factors) @ A @ diag(col_factors)``."""
+        row_factors = np.asarray(row_factors, dtype=np.float64)
+        col_factors = np.asarray(col_factors, dtype=np.float64)
+        data = self.data * row_factors[self.row_indices()] * col_factors[self.indices]
+        return SparseAdjacency(data, self.indices.copy(), self.indptr.copy(), self.shape)
+
+    def normalize(self, self_loops: bool = True) -> "SparseAdjacency":
+        """Symmetric normalisation ``D^{-1/2} A D^{-1/2}``.
+
+        Mirrors :func:`repro.graph.laplacian.normalize_adjacency` exactly:
+        self loops are added first when requested and isolated nodes keep a
+        zero row/column instead of producing NaNs.
+        """
+        matrix = self.add_self_loops() if self_loops else self
+        degrees = matrix.out_degrees()
+        inv_sqrt = np.zeros_like(degrees)
+        nonzero = degrees > 0
+        inv_sqrt[nonzero] = 1.0 / np.sqrt(degrees[nonzero])
+        return matrix.scale(inv_sqrt, inv_sqrt)
+
+    def transpose(self) -> "SparseAdjacency":
+        """CSR transpose (cached both ways)."""
+        if self._transpose is None:
+            order = np.argsort(self.indices, kind="stable")
+            t_rows = self.indices[order]
+            t_cols = self.row_indices()[order]
+            t_data = self.data[order]
+            counts = np.bincount(t_rows, minlength=self.shape[1])
+            indptr = np.concatenate([[0], np.cumsum(counts)])
+            transposed = SparseAdjacency(
+                t_data, t_cols, indptr, (self.shape[1], self.shape[0])
+            )
+            transposed._transpose = self
+            self._transpose = transposed
+        return self._transpose
+
+    @property
+    def T(self) -> "SparseAdjacency":
+        return self.transpose()
+
+    # ------------------------------------------------------------------
+    # products
+    # ------------------------------------------------------------------
+    def matmul(self, dense: np.ndarray) -> np.ndarray:
+        """``A @ X`` for a dense (N, d) matrix or (N,) vector in O(nnz · d).
+
+        Each output column is a weighted scatter-add over the stored entries,
+        computed with ``np.bincount`` — column-wise keeps every intermediate
+        1-D and contiguous, which benchmarks ~3× faster than reducing a
+        (nnz, d) product matrix with ``np.add.reduceat``.
+        """
+        dense = np.asarray(dense, dtype=np.float64)
+        is_vector = dense.ndim == 1
+        if is_vector:
+            dense = dense[:, None]
+        if dense.shape[0] != self.shape[1]:
+            raise ValueError(
+                f"dimension mismatch: {self.shape} @ {dense.shape}"
+            )
+        n, d = self.shape[0], dense.shape[1]
+        if not self.nnz:
+            out = np.zeros((n, d))
+            return out[:, 0] if is_vector else out
+        rows = self.row_indices()
+        out_t = np.empty((d, n))
+        for column in range(d):
+            out_t[column] = np.bincount(
+                rows,
+                weights=self.data * dense[:, column][self.indices],
+                minlength=n,
+            )
+        out = np.ascontiguousarray(out_t.T)
+        return out[:, 0] if is_vector else out
+
+    def __matmul__(self, other) -> np.ndarray:
+        return self.matmul(other)
+
+    def quadratic_form_cross_term(self, embeddings: np.ndarray) -> float:
+        """``Σ_ij a_ij (z_i · z_j)`` computed edge-wise, never forming Z Zᵀ."""
+        if not self.nnz:
+            return 0.0
+        z = np.asarray(embeddings, dtype=np.float64)
+        rows = self.row_indices()
+        total = 0.0
+        # Chunk the (nnz, d) gather so huge graphs stay memory-bounded.
+        chunk = max(1, 1 << 18)
+        for start in range(0, self.nnz, chunk):
+            stop = min(start + chunk, self.nnz)
+            dots = np.einsum(
+                "ij,ij->i", z[rows[start:stop]], z[self.indices[start:stop]]
+            )
+            total += float(self.data[start:stop] @ dots)
+        return total
+
+
+def as_sparse_adjacency(
+    adjacency: Union[np.ndarray, SparseAdjacency]
+) -> SparseAdjacency:
+    """Coerce to :class:`SparseAdjacency` (no copy if already sparse)."""
+    if isinstance(adjacency, SparseAdjacency):
+        return adjacency
+    return SparseAdjacency.from_dense(adjacency)
+
+
+def propagation_matrix(
+    adjacency: Union[np.ndarray, SparseAdjacency],
+    self_loops: bool = True,
+    node_threshold: Optional[int] = None,
+    density_threshold: Optional[float] = None,
+) -> Union[np.ndarray, SparseAdjacency]:
+    """Normalised GCN propagation matrix with automatic backend choice.
+
+    Sparse input stays sparse.  Dense input is promoted to
+    :class:`SparseAdjacency` when the graph is large (≥ ``node_threshold``
+    nodes) and sparse (density ≤ ``density_threshold``); otherwise the dense
+    :func:`~repro.graph.laplacian.normalize_adjacency` result is returned, so
+    small graphs keep the exact BLAS code path (and bit-identical results).
+
+    The thresholds default to the module-level ``SPARSE_NODE_THRESHOLD`` and
+    ``SPARSE_DENSITY_THRESHOLD``, read at call time so they can be
+    reconfigured globally (e.g. forced dense for an A/B comparison).
+    """
+    from repro.graph.laplacian import normalize_adjacency
+
+    if node_threshold is None:
+        node_threshold = SPARSE_NODE_THRESHOLD
+    if density_threshold is None:
+        density_threshold = SPARSE_DENSITY_THRESHOLD
+    if isinstance(adjacency, SparseAdjacency):
+        return adjacency.normalize(self_loops=self_loops)
+    dense = np.asarray(adjacency, dtype=np.float64)
+    n = dense.shape[0]
+    density = float(np.count_nonzero(dense)) / (n * n) if n else 0.0
+    if n >= node_threshold and density <= density_threshold:
+        return SparseAdjacency.from_dense(dense).normalize(self_loops=self_loops)
+    return normalize_adjacency(dense, self_loops=self_loops)

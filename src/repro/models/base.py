@@ -27,7 +27,7 @@ import numpy as np
 from repro.clustering.assignments import estimate_cluster_moments
 from repro.clustering.kmeans import KMeans
 from repro.graph.graph import AttributedGraph
-from repro.graph.laplacian import normalize_adjacency
+from repro.graph.sparse import propagation_matrix
 from repro.nn import functional as F
 from repro.nn.layers import GraphConvolution
 from repro.nn.module import Module
@@ -69,7 +69,7 @@ class GCNEncoder(Module):
         self.hidden_layer = GraphConvolution(in_features, hidden_dim, activation="relu", rng=rng)
         self.output_layer = GraphConvolution(hidden_dim, latent_dim, activation=None, rng=rng)
 
-    def forward(self, features, adj_norm: np.ndarray) -> Tensor:
+    def forward(self, features, adj_norm) -> Tensor:
         hidden = self.hidden_layer(features, adj_norm)
         return self.output_layer(hidden, adj_norm)
 
@@ -89,7 +89,7 @@ class VariationalGCNEncoder(Module):
         self.mu_layer = GraphConvolution(hidden_dim, latent_dim, activation=None, rng=rng)
         self.log_sigma_layer = GraphConvolution(hidden_dim, latent_dim, activation=None, rng=rng)
 
-    def forward(self, features, adj_norm: np.ndarray) -> Tuple[Tensor, Tensor]:
+    def forward(self, features, adj_norm) -> Tuple[Tensor, Tensor]:
         hidden = self.hidden_layer(features, adj_norm)
         mu = self.mu_layer(hidden, adj_norm)
         log_sigma = self.log_sigma_layer(hidden, adj_norm)
@@ -175,15 +175,21 @@ class GAEClusteringModel(Module):
     # ------------------------------------------------------------------
     @staticmethod
     def prepare_inputs(graph: AttributedGraph) -> Tuple[np.ndarray, np.ndarray]:
-        """Return (row-normalised features, GCN propagation matrix)."""
+        """Return (row-normalised features, GCN propagation matrix).
+
+        The propagation matrix is a :class:`~repro.graph.sparse.SparseAdjacency`
+        for large sparse graphs and a dense array otherwise (see
+        :func:`~repro.graph.sparse.propagation_matrix`); the GCN layers accept
+        both, so callers should treat it as an opaque operator.
+        """
         features = graph.row_normalized_features()
-        adj_norm = normalize_adjacency(graph.adjacency, self_loops=True)
+        adj_norm = propagation_matrix(graph.adjacency, self_loops=True)
         return features, adj_norm
 
     # ------------------------------------------------------------------
     # encoding / decoding
     # ------------------------------------------------------------------
-    def encode(self, features: np.ndarray, adj_norm: np.ndarray, sample: bool = True) -> Tensor:
+    def encode(self, features: np.ndarray, adj_norm, sample: bool = True) -> Tensor:
         """Latent representation tensor ``Z`` (differentiable).
 
         Variational models return a reparameterised sample during training

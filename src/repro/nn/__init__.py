@@ -5,19 +5,24 @@ base with a small, self-contained reverse-mode automatic differentiation
 engine.  It provides exactly what the paper's models need:
 
 * :class:`~repro.nn.tensor.Tensor` — an autograd-enabled array wrapper.
-* Functional ops (``relu``, ``sigmoid``, ``softplus``, reductions, matmul).
+* Functional ops (``relu``, ``sigmoid``, ``softplus``, reductions, matmul,
+  and the sparse propagation primitive :func:`~repro.nn.functional.spmm`).
 * Layers — :class:`~repro.nn.layers.Dense`,
   :class:`~repro.nn.layers.GraphConvolution`,
   :class:`~repro.nn.layers.InnerProductDecoder`.
 * Optimizers — :class:`~repro.nn.optim.SGD`, :class:`~repro.nn.optim.Adam`.
 
-The engine is intentionally dense-matrix based: the paper's encoders are two
-GCN layers with 32/16 hidden units on graphs with at most a few thousand
-nodes, which fits comfortably in dense numpy arrays.
+Dense tensors remain the default substrate, but graph propagation also runs
+against the CSR backend in :mod:`repro.graph.sparse`: pass a
+:class:`~repro.graph.sparse.SparseAdjacency` to a
+:class:`~repro.nn.layers.GraphConvolution` (or call
+:func:`~repro.nn.functional.spmm` directly) and both the forward and the
+backward pass cost O(|E| d) instead of O(N² d).
 """
 
 from repro.nn.tensor import Tensor, no_grad
 from repro.nn import functional
+from repro.nn.functional import spmm
 from repro.nn.module import Module, Parameter
 from repro.nn.layers import Dense, GraphConvolution, InnerProductDecoder, MLP
 from repro.nn.init import glorot_uniform, zeros, normal
@@ -27,6 +32,7 @@ __all__ = [
     "Tensor",
     "no_grad",
     "functional",
+    "spmm",
     "Module",
     "Parameter",
     "Dense",

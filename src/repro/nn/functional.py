@@ -53,6 +53,25 @@ def linear(x: ArrayOrTensor, weight: Tensor, bias: Optional[Tensor] = None) -> T
     return out
 
 
+def spmm(adjacency, x: ArrayOrTensor) -> Tensor:
+    """Sparse-dense product ``A @ X`` with autograd support through ``X``.
+
+    ``adjacency`` is a constant :class:`~repro.graph.sparse.SparseAdjacency`
+    (or any object exposing ``matmul``/``transpose``): the GCN propagation
+    matrix is fixed for a given graph, so no gradient flows into it.  The
+    backward pass is ``∂L/∂X = Aᵀ @ ∂L/∂out``, also computed sparsely, which
+    keeps both directions at O(nnz · d) instead of O(N² d).
+    """
+    x_t = as_tensor(x)
+    out_data = adjacency.matmul(x_t.data)
+    adjacency_t = adjacency.transpose()
+
+    def backward(grad: np.ndarray):
+        return (adjacency_t.matmul(grad),)
+
+    return x_t._make_child(out_data, (x_t,), backward)
+
+
 def dropout(x: ArrayOrTensor, rate: float, rng: np.random.Generator, training: bool = True) -> Tensor:
     """Inverted dropout.
 

@@ -17,6 +17,7 @@ from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 
+from repro.graph.sparse import SparseAdjacency
 from repro.nn import functional as F
 from repro.nn.init import glorot_uniform, zeros
 from repro.nn.module import Module
@@ -73,7 +74,9 @@ class GraphConvolution(Module):
 
     The normalised adjacency is passed at call time so the same layer can be
     evaluated against different self-supervision graphs (the R- operators
-    rewrite the graph during training).
+    rewrite the graph during training).  It may be a dense ``(N, N)`` array
+    or a :class:`~repro.graph.sparse.SparseAdjacency`; the sparse form runs
+    propagation (forward and backward) in O(|E| d) via :func:`repro.nn.functional.spmm`.
     """
 
     def __init__(
@@ -92,10 +95,13 @@ class GraphConvolution(Module):
         self.bias = zeros(out_features) if bias else None
         self.activation = resolve_activation(activation)
 
-    def forward(self, x, adj_norm: np.ndarray) -> Tensor:
-        adj = Tensor(np.asarray(adj_norm, dtype=np.float64))
+    def forward(self, x, adj_norm) -> Tensor:
         support = as_tensor(x) @ self.weight
-        out = adj @ support
+        if isinstance(adj_norm, SparseAdjacency):
+            out = F.spmm(adj_norm, support)
+        else:
+            adj = Tensor(np.asarray(adj_norm, dtype=np.float64))
+            out = adj @ support
         if self.bias is not None:
             out = out + self.bias
         if self.activation is not None:

@@ -74,7 +74,16 @@ class Adam(Optimizer):
     ) -> None:
         super().__init__(parameters)
         self.lr = float(lr)
-        self.beta1, self.beta2 = betas
+        try:
+            beta1, beta2 = betas
+            self.beta1, self.beta2 = float(beta1), float(beta2)
+        except (TypeError, ValueError) as exc:
+            raise ValueError(
+                f"betas must be a pair of numbers in [0, 1), got {betas!r}"
+            ) from exc
+        for name, beta in (("beta1", self.beta1), ("beta2", self.beta2)):
+            if not 0.0 <= beta < 1.0:
+                raise ValueError(f"{name} must lie in [0, 1), got {beta!r}")
         self.eps = float(eps)
         self.weight_decay = float(weight_decay)
         self._step_count = 0

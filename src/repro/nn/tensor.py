@@ -12,13 +12,18 @@ accumulation (broadcast dimensions are summed out on the way back).
 from __future__ import annotations
 
 import contextlib
+import threading
 from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 ArrayLike = Union[np.ndarray, float, int, "Tensor"]
 
-_GRAD_ENABLED = True
+# Grad mode is tracked per thread: a no_grad() evaluation pass on one thread
+# (e.g. a metrics callback running concurrently with training) must not
+# disable graph construction for every other thread, which a module-level
+# boolean would.
+_GRAD_STATE = threading.local()
 
 
 @contextlib.contextmanager
@@ -26,20 +31,21 @@ def no_grad():
     """Context manager that disables graph construction.
 
     Useful for evaluation passes (metrics, cluster re-initialisation) where
-    gradients are not needed, mirroring ``torch.no_grad``.
+    gradients are not needed, mirroring ``torch.no_grad``.  The flag is
+    thread-local, so concurrent evaluation never corrupts grad state across
+    threads.
     """
-    global _GRAD_ENABLED
-    previous = _GRAD_ENABLED
-    _GRAD_ENABLED = False
+    previous = grad_enabled()
+    _GRAD_STATE.enabled = False
     try:
         yield
     finally:
-        _GRAD_ENABLED = previous
+        _GRAD_STATE.enabled = previous
 
 
 def grad_enabled() -> bool:
     """Return whether operations currently record the autograd graph."""
-    return _GRAD_ENABLED
+    return getattr(_GRAD_STATE, "enabled", True)
 
 
 def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
@@ -139,7 +145,7 @@ class Tensor:
         parents: Sequence["Tensor"],
         backward: Callable[[np.ndarray], None],
     ) -> "Tensor":
-        requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        requires = grad_enabled() and any(p.requires_grad for p in parents)
         child = Tensor(data, requires_grad=requires)
         if requires:
             child._parents = tuple(parents)

@@ -110,6 +110,52 @@ class TestGaussianMixture:
         long = GaussianMixture(3, max_iter=50, seed=0).fit(data)
         assert long.log_likelihood_ >= short.log_likelihood_ - 1e-6
 
+    def test_empty_kmeans_cluster_keeps_weights_aligned(self, monkeypatch):
+        """Regression: an empty k-means cluster must not shift the weights of
+        the following components (np.unique used to compact the counts)."""
+        data = np.vstack(
+            [np.tile([0.0, 0.0], (12, 1)), np.tile([10.0, 10.0], (5, 1))]
+        )
+
+        class EmptyMiddleClusterKMeans:
+            """Stub init assigning clusters 0 and 2, leaving cluster 1 empty."""
+
+            def __init__(self, num_clusters, num_init=10, seed=0, **kwargs):
+                self.num_clusters = num_clusters
+
+            def fit(self, points):
+                self.labels_ = np.where(points[:, 0] < 5.0, 0, 2).astype(np.int64)
+                self.cluster_centers_ = np.array(
+                    [[0.0, 0.0], [5.0, 5.0], [10.0, 10.0]]
+                )
+                return self
+
+        import repro.clustering.gmm as gmm_module
+
+        monkeypatch.setattr(gmm_module, "KMeans", EmptyMiddleClusterKMeans)
+        # max_iter=0 freezes the initial weights so they can be inspected.
+        mixture = GaussianMixture(3, max_iter=0, seed=0).fit(data)
+
+        expected = np.array([12.0 / 17.0, 1.0 / 3.0, 5.0 / 17.0])
+        expected /= expected.sum()
+        np.testing.assert_allclose(mixture.weights_, expected, atol=1e-12)
+        # The buggy np.unique version credited cluster 2's count to component 1
+        # and gave the uniform floor to component 2 instead.
+        buggy = np.array([12.0 / 17.0, 5.0 / 17.0, 1.0 / 3.0])
+        buggy /= buggy.sum()
+        assert not np.allclose(mixture.weights_, buggy)
+
+    def test_empty_cluster_weights_on_real_kmeans(self):
+        """With 2 distinct point locations and 3 components, k-means leaves a
+        cluster empty; the fitted mixture must stay a valid distribution."""
+        data = np.vstack(
+            [np.tile([0.0, 0.0], (12, 1)), np.tile([10.0, 10.0], (5, 1))]
+        )
+        mixture = GaussianMixture(3, seed=0).fit(data)
+        assert mixture.weights_.sum() == pytest.approx(1.0)
+        assert np.all(mixture.weights_ > 0.0)
+        assert np.all(np.isfinite(mixture.responsibilities_))
+
 
 class TestAssignments:
     def test_hard_to_one_hot(self):

@@ -36,6 +36,18 @@ class TestSamplingOperator:
         np.testing.assert_allclose(first, [0.7, 0.4])
         np.testing.assert_allclose(second, [0.2, 0.35])
 
+    def test_coverage_on_empty_graph_raises(self):
+        from repro.core.sampling import SamplingResult
+
+        empty = SamplingResult(
+            reliable_nodes=np.array([], dtype=np.int64),
+            soft_assignments=np.zeros((0, 3)),
+            first_scores=np.array([]),
+            second_scores=np.array([]),
+        )
+        with pytest.raises(ValueError, match="empty graph"):
+            empty.coverage()
+
     def test_confidence_scores_single_cluster(self):
         first, second = confidence_scores(np.ones((3, 1)))
         np.testing.assert_allclose(second, 0.0)

@@ -276,3 +276,23 @@ class TestOptimizers:
         (a * 2.0).sum().backward()
         opt.step()
         assert b.data[0] == pytest.approx(2.0)
+
+    def test_adam_coerces_string_betas_from_json_specs(self):
+        """Regression: a JSON spec passing betas as strings used to fail deep
+        inside step(); they must be coerced to float at construction."""
+        param = Tensor(np.array([1.0]), requires_grad=True)
+        opt = Adam([param], lr=0.1, betas=["0.9", "0.999"])
+        assert opt.beta1 == pytest.approx(0.9)
+        assert opt.beta2 == pytest.approx(0.999)
+        opt.zero_grad()
+        (param * 2.0).sum().backward()
+        opt.step()
+        assert np.isfinite(param.data).all()
+
+    @pytest.mark.parametrize(
+        "betas", [(0.9,), (0.9, 0.999, 0.5), ("x", "y"), (1.0, 0.999), (-0.1, 0.999), None]
+    )
+    def test_adam_rejects_invalid_betas(self, betas):
+        param = Tensor(np.array([1.0]), requires_grad=True)
+        with pytest.raises(ValueError):
+            Adam([param], betas=betas)

@@ -170,6 +170,42 @@ class TestGraphMechanics:
         assert y.requires_grad is False
         assert y._backward is None
 
+    def test_no_grad_is_thread_local(self):
+        """Regression: no_grad() on one thread must not disable autograd on
+        another (the flag used to be a module-level global)."""
+        import threading
+
+        x = Tensor(np.ones(4), requires_grad=True)
+        inside_no_grad = threading.Event()
+        main_done = threading.Event()
+        results = {}
+
+        def evaluation_thread():
+            with no_grad():
+                results["eval"] = (x * 2.0).sum().requires_grad
+                inside_no_grad.set()
+                # Hold the no_grad context open while the main thread records.
+                main_done.wait(timeout=5.0)
+
+        worker = threading.Thread(target=evaluation_thread)
+        worker.start()
+        assert inside_no_grad.wait(timeout=5.0)
+        try:
+            results["main"] = (x * 3.0).sum().requires_grad
+        finally:
+            main_done.set()
+            worker.join(timeout=5.0)
+
+        assert results["eval"] is False
+        assert results["main"] is True
+
+    def test_no_grad_restores_state_after_exception(self):
+        x = Tensor(np.ones(2), requires_grad=True)
+        with pytest.raises(RuntimeError):
+            with no_grad():
+                raise RuntimeError("boom")
+        assert (x * 2.0).sum().requires_grad is True
+
     def test_detach_cuts_graph(self):
         x = Tensor(np.ones((2, 2)), requires_grad=True)
         y = (x * 2.0).detach()
