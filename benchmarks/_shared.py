@@ -13,6 +13,7 @@ the paper's and discusses where the shapes agree.
 
 from __future__ import annotations
 
+import os
 from functools import lru_cache
 from typing import Dict, Tuple
 
@@ -21,6 +22,19 @@ from repro.datasets.registry import DATASETS
 from repro.experiments import ExperimentConfig, learning_dynamics_study, run_model_pair
 from repro.experiments.runner import PairResult
 from repro.models.registry import MODELS
+
+
+def bench_jobs():
+    """Process-pool width for the multi-seed table benchmarks.
+
+    Controlled by the ``REPRO_BENCH_JOBS`` environment variable: unset or
+    ``1`` keeps the historical serial behaviour, an integer fans the
+    (model, dataset, seed) trials of each pair out over that many worker
+    processes, and ``auto`` uses every core.  Per-seed results are bitwise
+    identical either way (see :mod:`repro.parallel`).
+    """
+    value = os.environ.get("REPRO_BENCH_JOBS", "1")
+    return value if value == "auto" else int(value)
 
 #: budget used by every benchmark (see EXPERIMENTS.md for the rationale).
 BENCH_CONFIG = ExperimentConfig(
@@ -49,8 +63,14 @@ SECOND_GROUP_MODELS = tuple(MODELS.names(group="second"))
 
 @lru_cache(maxsize=None)
 def cached_pair(model_name: str, dataset_name: str) -> PairResult:
-    """Train (and cache) the D / R-D pair for a model-dataset combination."""
-    return run_model_pair(model_name, dataset_name, config=BENCH_CONFIG)
+    """Train (and cache) the D / R-D pair for a model-dataset combination.
+
+    Multi-seed trials fan out across ``REPRO_BENCH_JOBS`` worker processes,
+    which parallelises the Table 2/4/17 style mean ± std benchmarks.
+    """
+    return run_model_pair(
+        model_name, dataset_name, config=BENCH_CONFIG, jobs=bench_jobs()
+    )
 
 
 @lru_cache(maxsize=None)

@@ -57,6 +57,9 @@ from repro.api import Registry
 _LAZY_EXPORTS = {
     "Pipeline": ("repro.api.pipeline", "Pipeline"),
     "RunSpec": ("repro.api.spec", "RunSpec"),
+    "run_trials": ("repro.parallel", "run_trials"),
+    "run_seeded": ("repro.parallel", "run_seeded"),
+    "parallel_map": ("repro.parallel", "parallel_map"),
 }
 
 __all__ = [
@@ -71,6 +74,9 @@ __all__ = [
     "Pipeline",
     "Registry",
     "RunSpec",
+    "run_trials",
+    "run_seeded",
+    "parallel_map",
 ]
 
 

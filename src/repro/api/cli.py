@@ -2,9 +2,16 @@
 
 Usage::
 
-    repro-run trial.json            # run the spec in trial.json
-    repro-run -                     # read the spec from stdin
+    repro-run trial.json                # run the spec in trial.json
+    repro-run -                         # read the spec from stdin
     repro-run trial.json --print-spec   # echo the normalised spec and exit
+    repro-run trial.json --seeds 0 1 2 3 --jobs 4   # multi-seed, pooled
+
+Multi-seed runs: pass ``--seeds``, or give the spec a JSON list as its
+``"seed"`` field (``"seed": [0, 1, 2, 3]``).  ``--jobs N`` fans the seeds
+out over ``N`` worker processes (``--jobs auto`` uses every core); the
+per-seed results are bitwise identical to a serial ``--jobs 1`` run, only
+the wall-clock time changes.
 
 The exit status is 0 on success and 2 on a malformed spec, so the command
 composes with shell pipelines and CI jobs.
@@ -15,9 +22,9 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence
 
-from repro.errors import ReproError
+from repro.errors import ReproError, SpecError
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -39,7 +46,53 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit the result summary as JSON instead of human-readable text",
     )
+    parser.add_argument(
+        "--seeds",
+        type=int,
+        nargs="+",
+        default=None,
+        metavar="SEED",
+        help="run the spec once per seed (overrides the spec's seed field)",
+    )
+    parser.add_argument(
+        "--jobs",
+        default="1",
+        metavar="N",
+        help="worker processes for multi-seed runs (an int, or 'auto' for "
+        "every core); results are identical to --jobs 1",
+    )
     return parser
+
+
+def _parse_jobs(value: str):
+    if value == "auto":
+        return "auto"
+    try:
+        jobs = int(value)
+    except ValueError:
+        raise SpecError(f"--jobs must be an integer or 'auto', got {value!r}") from None
+    if jobs < 1:
+        raise SpecError(f"--jobs must be >= 1, got {jobs}")
+    return jobs
+
+
+def _load_spec_document(text: str):
+    """Parse the JSON document, extracting a ``"seed": [...]`` list if any."""
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise SpecError(f"invalid JSON run spec: {error}") from None
+    if not isinstance(data, dict):
+        raise SpecError(f"run spec must be a JSON object, got {type(data).__name__}")
+    seeds: Optional[List[int]] = None
+    if isinstance(data.get("seed"), list):
+        seed_list = data["seed"]
+        if not seed_list:
+            raise SpecError("the spec's seed list must not be empty")
+        seeds = [int(seed) for seed in seed_list]
+        data = dict(data)
+        data["seed"] = seeds[0]
+    return data, seeds
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -47,40 +100,70 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     args = build_parser().parse_args(argv)
     try:
+        jobs = _parse_jobs(args.jobs)
         if args.spec == "-":
             text = sys.stdin.read()
         else:
             with open(args.spec, "r", encoding="utf-8") as handle:
                 text = handle.read()
-        pipeline = Pipeline.from_spec(text)
+        data, spec_seeds = _load_spec_document(text)
+        pipeline = Pipeline.from_spec(data)
         spec = pipeline.spec()
     except (OSError, ReproError) as error:
         print(f"repro-run: {error}", file=sys.stderr)
+        return 2
+
+    # --seeds wins over a seed list in the spec; a plain spec runs its own seed.
+    seeds = args.seeds if args.seeds is not None else spec_seeds
+    multi_seed = seeds is not None
+    if not multi_seed and jobs != 1:
+        print(
+            "repro-run: --jobs requires a multi-seed run (pass --seeds or "
+            'give the spec a "seed" list)',
+            file=sys.stderr,
+        )
         return 2
 
     if args.print_spec:
         print(spec.to_json())
         return 0
 
-    print(f"repro-run: {spec.describe()}", file=sys.stderr)
     try:
-        result = pipeline.run()
+        if seeds is None:
+            print(f"repro-run: {spec.describe()}", file=sys.stderr)
+            results = [pipeline.run()]
+            seeds = [spec.seed]
+        else:
+            print(
+                f"repro-run: {spec.describe()} over seeds {seeds} "
+                f"(jobs={jobs})",
+                file=sys.stderr,
+            )
+            results = pipeline.run_trials(seeds, jobs=jobs)
     except ReproError as error:
         # Unknown dataset / model / callback names only surface when the
         # registries are consulted at run time; report them like any other
         # bad-spec error instead of a traceback.
         print(f"repro-run: {error}", file=sys.stderr)
         return 2
+
     if args.json:
-        print(json.dumps(result.summary(), indent=2))
+        summaries = [
+            {"seed": seed, **result.summary()} for seed, result in zip(seeds, results)
+        ]
+        # Multi-seed mode always emits an array (even for one seed) so
+        # consumers parse one shape; a plain run keeps the historical object.
+        print(json.dumps(summaries if multi_seed else summaries[0], indent=2))
     else:
-        print(f"{spec.describe()}: {result.report}")
-        print(f"runtime: {result.runtime_seconds:.2f}s")
-        if result.history is not None:
-            print(
-                f"epochs run: {result.history.epochs_run} "
-                f"(converged: {result.history.converged})"
-            )
+        for seed, result in zip(seeds, results):
+            described = spec.replace(seed=seed).describe()
+            print(f"{described}: {result.report}")
+            print(f"runtime: {result.runtime_seconds:.2f}s")
+            if result.history is not None:
+                print(
+                    f"epochs run: {result.history.epochs_run} "
+                    f"(converged: {result.history.converged})"
+                )
     return 0
 
 

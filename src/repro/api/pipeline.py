@@ -305,3 +305,35 @@ class Pipeline:
             history=history,
             model=model,
         )
+
+    def run_trials(self, seeds, jobs=None) -> List[RunResult]:
+        """Run this pipeline once per seed, optionally over a process pool.
+
+        The per-seed results are bitwise identical whatever ``jobs`` is
+        (``None``/1 serial, an int, or ``"auto"`` for the cpu count): each
+        trial re-derives all randomness from its spec inside its worker.
+        Unlike :meth:`run`, the trained models are not returned — they hold
+        autograd closures that cannot cross process boundaries.
+
+        Requires a registry dataset and declarative callbacks: an explicit
+        :meth:`graph` or live callback objects cannot be shipped to worker
+        processes.
+        """
+        from repro.parallel import run_seeded
+
+        if self._graph is not None:
+            raise SpecError(
+                "run_trials requires a registered dataset; pipelines built "
+                "with .graph(...) cannot be re-materialised in pool workers"
+            )
+        if self._callback_objects:
+            raise SpecError(
+                "run_trials requires declarative callbacks (names or spec "
+                "dicts); live callback objects cannot be shipped to workers"
+            )
+        if self._pretrained_state is not None:
+            raise SpecError(
+                "run_trials re-runs pretraining per seed; pretrained_state "
+                "snapshots are not supported"
+            )
+        return run_seeded(self.spec(), seeds, jobs=jobs)

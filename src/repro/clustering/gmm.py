@@ -45,44 +45,77 @@ class GaussianMixture:
         self.log_likelihood_: Optional[float] = None
 
     # ------------------------------------------------------------------
-    def _log_prob(self, data: np.ndarray) -> np.ndarray:
-        """(N, K) log densities of each point under each component."""
-        n, d = data.shape
-        log_probs = np.empty((n, self.num_components))
-        for k in range(self.num_components):
-            var = self.variances_[k]
-            diff = data - self.means_[k]
-            log_det = np.sum(np.log(var))
-            mahalanobis = np.sum(diff ** 2 / var, axis=1)
-            log_probs[:, k] = -0.5 * (d * np.log(2.0 * np.pi) + log_det + mahalanobis)
-        return log_probs
+    def _log_prob(
+        self, data: np.ndarray, squared: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """(N, K) log densities of each point under each component.
 
-    def _e_step(self, data: np.ndarray) -> tuple:
-        weighted = self._log_prob(data) + np.log(self.weights_ + 1e-300)
+        Loop-free: expanding ``Σ_d (x - μ)² / σ²`` into ``x²·(1/σ²) -
+        2 x·(μ/σ²) + Σ μ²/σ²`` turns the Mahalanobis terms of every
+        component into two GEMMs plus a per-component constant.  ``squared``
+        lets the EM loop pass a precomputed ``data ** 2``.
+        """
+        d = data.shape[1]
+        if squared is None:
+            squared = data ** 2
+        precision = 1.0 / self.variances_  # (K, d)
+        log_det = np.sum(np.log(self.variances_), axis=1)  # (K,)
+        mahalanobis = squared @ precision.T
+        mahalanobis -= 2.0 * data @ (self.means_ * precision).T
+        mahalanobis += np.einsum("kd,kd->k", self.means_ ** 2, precision)[None, :]
+        return -0.5 * (d * np.log(2.0 * np.pi) + log_det[None, :] + mahalanobis)
+
+    def _e_step(self, data: np.ndarray, squared: Optional[np.ndarray] = None) -> tuple:
+        weighted = self._log_prob(data, squared) + np.log(self.weights_ + 1e-300)
         log_norm = _logsumexp(weighted, axis=1)
         responsibilities = np.exp(weighted - log_norm[:, None])
         return responsibilities, float(log_norm.mean())
 
-    def _m_step(self, data: np.ndarray, responsibilities: np.ndarray) -> None:
-        counts = responsibilities.sum(axis=0) + 1e-12
+    def _m_step(
+        self,
+        data: np.ndarray,
+        responsibilities: np.ndarray,
+        squared: Optional[np.ndarray] = None,
+    ) -> None:
+        mass = responsibilities.sum(axis=0)
+        counts = mass + 1e-12
         self.weights_ = counts / data.shape[0]
         self.means_ = (responsibilities.T @ data) / counts[:, None]
-        for k in range(self.num_components):
-            diff = data - self.means_[k]
-            self.variances_[k] = (
-                responsibilities[:, k] @ (diff ** 2)
-            ) / counts[k] + self.reg_covar
+        # Loop-free variance update: expanding Σ r (x - μ)² / counts turns
+        # the weighted second moment into one GEMM.  The cross/mean terms do
+        # NOT collapse to exactly -μ² because counts carries a 1e-12
+        # stabiliser, so Σ r / counts < 1; keeping the (2 - mass/counts)
+        # factor reproduces the per-component loop identically (visible at
+        # ~1e-5 for near-empty components).  The subtraction can go
+        # marginally negative in floating point, so clamp before adding the
+        # regulariser.
+        if squared is None:
+            squared = data ** 2
+        second_moment = (responsibilities.T @ squared) / counts[:, None]
+        variances = second_moment - self.means_ ** 2 * (2.0 - mass / counts)[:, None]
+        np.maximum(variances, 0.0, out=variances)
+        self.variances_ = variances + self.reg_covar
 
     def fit(self, data: np.ndarray) -> "GaussianMixture":
         """Fit the mixture with EM, initialised from k-means."""
         data = np.asarray(data, dtype=np.float64)
         kmeans = KMeans(self.num_components, num_init=5, seed=self.seed).fit(data)
         self.means_ = kmeans.cluster_centers_.copy()
-        self.variances_ = np.ones((self.num_components, data.shape[1]))
-        for k in range(self.num_components):
-            members = data[kmeans.labels_ == k]
-            if members.shape[0] > 1:
-                self.variances_[k] = members.var(axis=0) + self.reg_covar
+        # Per-cluster variances in one scatter-add pass: biased variance
+        # E[x²] - E[x]² per component; clusters with fewer than two members
+        # keep the unit-variance prior.
+        squared = data ** 2
+        counts = np.bincount(kmeans.labels_, minlength=self.num_components)
+        sums = np.zeros((self.num_components, data.shape[1]))
+        sums_sq = np.zeros_like(sums)
+        np.add.at(sums, kmeans.labels_, data)
+        np.add.at(sums_sq, kmeans.labels_, squared)
+        safe = np.maximum(counts, 1)[:, None]
+        variances = sums_sq / safe - (sums / safe) ** 2
+        np.maximum(variances, 0.0, out=variances)
+        self.variances_ = np.where(
+            counts[:, None] > 1, variances + self.reg_covar, 1.0
+        )
         # np.bincount keeps counts aligned with component indices even when
         # k-means leaves a cluster empty (np.unique would compact the counts
         # and credit them to the wrong components); empty components fall
@@ -94,12 +127,12 @@ class GaussianMixture:
 
         previous = -np.inf
         for _ in range(self.max_iter):
-            responsibilities, log_likelihood = self._e_step(data)
-            self._m_step(data, responsibilities)
+            responsibilities, log_likelihood = self._e_step(data, squared)
+            self._m_step(data, responsibilities, squared)
             if abs(log_likelihood - previous) < self.tol:
                 break
             previous = log_likelihood
-        self.responsibilities_, self.log_likelihood_ = self._e_step(data)
+        self.responsibilities_, self.log_likelihood_ = self._e_step(data, squared)
         return self
 
     def predict_proba(self, data: np.ndarray) -> np.ndarray:
@@ -121,5 +154,11 @@ class GaussianMixture:
 
 def _logsumexp(values: np.ndarray, axis: int) -> np.ndarray:
     peak = values.max(axis=axis, keepdims=True)
-    out = np.log(np.sum(np.exp(values - peak), axis=axis)) + np.squeeze(peak, axis=axis)
-    return out
+    # A slice that is entirely -inf (zero total mass, possible under extreme
+    # reg_covar or degenerate data) would otherwise compute exp(-inf + inf)
+    # = nan; anchoring those slices at 0 lets log(sum exp) return the
+    # mathematically correct -inf instead.
+    anchor = np.where(np.isfinite(peak), peak, 0.0)
+    with np.errstate(divide="ignore"):
+        summed = np.log(np.sum(np.exp(values - anchor), axis=axis))
+    return summed + np.squeeze(anchor, axis=axis)

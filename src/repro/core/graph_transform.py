@@ -34,21 +34,27 @@ def _cluster_centroid_nodes(
 ) -> Dict[int, int]:
     """The set Π: for each cluster, the reliable node nearest to its mean embedding.
 
-    Clusters without any reliable member are omitted from the mapping.
+    Clusters without any reliable member are omitted from the mapping.  All
+    clusters are resolved at once: mean embeddings by a scatter-add over the
+    reliable members, then one lexsort picks each cluster's closest member
+    (ties resolved towards the earlier member, like a per-cluster argmin).
     """
-    centroid_nodes: Dict[int, int] = {}
     reliable_nodes = np.asarray(reliable_nodes, dtype=np.int64)
     if reliable_nodes.size == 0:
-        return centroid_nodes
+        return {}
     reliable_labels = hard_assignments[reliable_nodes]
-    for cluster in range(num_clusters):
-        members = reliable_nodes[reliable_labels == cluster]
-        if members.size == 0:
-            continue
-        mean_embedding = embeddings[members].mean(axis=0)
-        distances = np.linalg.norm(embeddings[members] - mean_embedding, axis=1)
-        centroid_nodes[cluster] = int(members[int(np.argmin(distances))])
-    return centroid_nodes
+    member_embeddings = embeddings[reliable_nodes]
+    counts = np.bincount(reliable_labels, minlength=num_clusters)
+    sums = np.zeros((num_clusters, embeddings.shape[1]))
+    np.add.at(sums, reliable_labels, member_embeddings)
+    means = sums / np.maximum(counts, 1)[:, None]
+    distances = np.linalg.norm(member_embeddings - means[reliable_labels], axis=1)
+    order = np.lexsort((np.arange(reliable_labels.size), distances, reliable_labels))
+    sorted_labels = reliable_labels[order]
+    present = np.flatnonzero(counts > 0)
+    first_of_cluster = np.searchsorted(sorted_labels, present, side="left")
+    winners = reliable_nodes[order[first_of_cluster]]
+    return {int(cluster): int(node) for cluster, node in zip(present, winners)}
 
 
 def build_clustering_oriented_graph(
@@ -97,28 +103,49 @@ def build_clustering_oriented_graph(
     if reliable_nodes.size == 0:
         return result
 
-    centroid_nodes = _cluster_centroid_nodes(embeddings, hard, reliable_nodes, num_clusters)
+    # Both edit operations are applied as vectorised edge-set operations on
+    # the COO view of the dense matrix (the same scheme as the sparse path
+    # below).  They commute: drop_edge only removes edges whose reliable
+    # endpoints disagree on the cluster, add_edge only inserts same-cluster
+    # (node, centroid) edges, so neither can affect the other.
     reliable_mask = np.zeros(adjacency.shape[0], dtype=bool)
     reliable_mask[reliable_nodes] = True
 
-    for node in reliable_nodes:
-        node_cluster = int(hard[node])
-        # add_edge: connect the node to its cluster's centroid node when both
-        # agree on the cluster and the edge does not already exist.
-        if add_edges and node_cluster in centroid_nodes:
-            centroid = centroid_nodes[node_cluster]
-            if centroid != node and result[node, centroid] == 0:
-                if int(hard[centroid]) == node_cluster:
-                    result[node, centroid] = 1.0
-                    result[centroid, node] = 1.0
-        # drop_edge: disconnect the node from reliable neighbours assigned to
-        # a different cluster.
-        if drop_edges:
-            neighbors = np.flatnonzero(adjacency[node])
-            for neighbor in neighbors:
-                if reliable_mask[neighbor] and int(hard[neighbor]) != node_cluster:
-                    result[node, neighbor] = 0.0
-                    result[neighbor, node] = 0.0
+    if drop_edges:
+        # The bool view makes the edge scan one pass over N²/8 bytes
+        # instead of the 8-byte floats.
+        rows, cols = np.nonzero(adjacency != 0)
+        disagree = (
+            reliable_mask[rows] & reliable_mask[cols] & (hard[rows] != hard[cols])
+        )
+        # Zero both directions, like the historical per-neighbour loop did
+        # (a no-op for the reverse entry when the input is symmetric).
+        result[rows[disagree], cols[disagree]] = 0.0
+        result[cols[disagree], rows[disagree]] = 0.0
+
+    if add_edges:
+        centroid_nodes = _cluster_centroid_nodes(
+            embeddings, hard, reliable_nodes, num_clusters
+        )
+        centroid_of = np.full(num_clusters, -1, dtype=np.int64)
+        for cluster, node in centroid_nodes.items():
+            centroid_of[cluster] = node
+        clusters = hard[reliable_nodes]
+        centroids = centroid_of[clusters]
+        valid = (centroids >= 0) & (centroids != reliable_nodes)
+        # Centroid nodes are reliable members of their own cluster, so the
+        # agreement check (hard[centroid] == cluster) always holds; it is
+        # kept to mirror Algorithm 2 line by line.
+        valid &= hard[np.where(valid, centroids, 0)] == clusters
+        sources = reliable_nodes[valid]
+        targets = centroids[valid]
+        # Same-cluster entries are untouched by the drops above, so checking
+        # ``result`` here is identical to the historical check against the
+        # partially edited matrix.
+        absent = result[sources, targets] == 0.0
+        sources, targets = sources[absent], targets[absent]
+        result[sources, targets] = 1.0
+        result[targets, sources] = 1.0
     return result
 
 

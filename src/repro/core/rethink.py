@@ -289,8 +289,13 @@ class RethinkTrainer:
             callbacks.on_epoch_begin(epoch)
             refresh_omega = epoch % config.update_omega_every == 0
             refresh_graph = epoch % config.update_graph_every == 0
+            optimizer.zero_grad()
+            z = model.encode(features, adj_norm)
             if refresh_omega or refresh_graph:
-                embeddings = model.embed(graph)
+                # Reuse the forward pass above: the posterior mean cached by
+                # encode() is exactly what model.embed(graph) would recompute
+                # with the same (not yet updated) weights.
+                embeddings = model.last_embeddings()
                 # Keep the model's own clustering parameters (targets, mixture
                 # moments, centres) in sync with the current embeddings.
                 model.refresh_clustering(embeddings)
@@ -304,8 +309,6 @@ class RethinkTrainer:
                 )
                 callbacks.on_graph_transform(epoch, self.self_supervision_graph_)
 
-            optimizer.zero_grad()
-            z = model.encode(features, adj_norm)
             reconstruction = model.reconstruction_loss(z, self.self_supervision_graph_)
             regularization = model.regularization_loss(z)
             if regularization is not None:

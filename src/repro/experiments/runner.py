@@ -148,35 +148,63 @@ def run_rethink_model(
     return TrialResult.from_run_result(pipeline.run())
 
 
+def _run_pair_seed(task) -> tuple:
+    """One seed's (base, rethink) pair with shared pretraining.
+
+    Module-level so :func:`repro.parallel.parallel_map` can ship it to pool
+    workers; everything it needs (names, the frozen config, the seed) is
+    picklable, and the graph / pretraining snapshot are rebuilt inside the
+    worker from those seeds.
+    """
+    model_name, dataset_name, config, rethink_overrides, seed = task
+    graph = load_dataset(dataset_name, seed=config.base_seed)
+    # Shared pretraining snapshot for fairness.
+    pretrain_model = build_model(
+        model_name, graph.num_features, graph.num_clusters, seed=seed
+    )
+    pretrain_model.pretrain(graph, epochs=config.pretrain_epochs)
+    state = pretrain_model.state_dict()
+    base = run_baseline_model(model_name, graph, config, seed, pretrained_state=state)
+    rethink = run_rethink_model(
+        model_name,
+        graph,
+        config,
+        seed,
+        pretrained_state=state,
+        rethink_overrides=rethink_overrides,
+    )
+    return base, rethink
+
+
 def run_model_pair(
     model_name: str,
     dataset_name: str,
     config: Optional[ExperimentConfig] = None,
     rethink_overrides: Optional[Dict] = None,
+    jobs=None,
 ) -> PairResult:
-    """Run D and R-D over ``config.num_trials`` seeds with shared pretraining."""
+    """Run D and R-D over ``config.num_trials`` seeds with shared pretraining.
+
+    ``jobs`` fans the seeds out over a process pool (``None``/1 serial, an
+    int, or ``"auto"``); each seed is an independent, fully seeded work
+    unit, so the aggregated tables are identical for any ``jobs`` value.
+    """
+    from repro.parallel import parallel_map
+
     config = config or ExperimentConfig()
+    tasks = [
+        (
+            model_name,
+            dataset_name,
+            config,
+            rethink_overrides,
+            config.base_seed + trial,
+        )
+        for trial in range(config.num_trials)
+    ]
+    outcomes = parallel_map(_run_pair_seed, tasks, jobs=jobs)
     pair = PairResult(model=model_name, dataset=dataset_name)
-    for trial in range(config.num_trials):
-        seed = config.base_seed + trial
-        graph = load_dataset(dataset_name, seed=config.base_seed)
-        # Shared pretraining snapshot for fairness.
-        pretrain_model = build_model(
-            model_name, graph.num_features, graph.num_clusters, seed=seed
-        )
-        pretrain_model.pretrain(graph, epochs=config.pretrain_epochs)
-        state = pretrain_model.state_dict()
-        pair.base_trials.append(
-            run_baseline_model(model_name, graph, config, seed, pretrained_state=state)
-        )
-        pair.rethink_trials.append(
-            run_rethink_model(
-                model_name,
-                graph,
-                config,
-                seed,
-                pretrained_state=state,
-                rethink_overrides=rethink_overrides,
-            )
-        )
+    for base, rethink in outcomes:
+        pair.base_trials.append(base)
+        pair.rethink_trials.append(rethink)
     return pair

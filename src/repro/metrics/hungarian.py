@@ -103,8 +103,7 @@ def hungarian_matching(
         raise ValueError("label arrays must have the same shape")
     num_classes = int(max(true_labels.max(), predicted_labels.max())) + 1
     contingency = np.zeros((num_classes, num_classes))
-    for t, p in zip(true_labels, predicted_labels):
-        contingency[p, t] += 1.0
+    np.add.at(contingency, (predicted_labels, true_labels), 1.0)
     cost = contingency.max() - contingency
     if _scipy_lsa is not None:
         rows, cols = _scipy_lsa(cost)
@@ -121,4 +120,6 @@ def align_labels(true_labels: np.ndarray, predicted_labels: np.ndarray) -> np.nd
     """
     mapping = hungarian_matching(true_labels, predicted_labels)
     predicted_labels = np.asarray(predicted_labels, dtype=np.int64)
-    return np.array([mapping[int(p)] for p in predicted_labels], dtype=np.int64)
+    lookup = np.zeros(max(mapping) + 1, dtype=np.int64)
+    lookup[list(mapping.keys())] = list(mapping.values())
+    return np.take(lookup, predicted_labels)

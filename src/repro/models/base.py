@@ -156,6 +156,9 @@ class GAEClusteringModel(Module):
         # Cached cluster parameters (set by init_clustering / refreshed during training).
         self.cluster_centers_: Optional[np.ndarray] = None
         self.cluster_variances_: Optional[np.ndarray] = None
+        # Posterior mean of the most recent encode() call (see last_embeddings).
+        self._last_mu: Optional[Tensor] = None
+        self._last_log_sigma: Optional[Tensor] = None
 
     # ------------------------------------------------------------------
     # construction hooks
@@ -220,6 +223,18 @@ class GAEClusteringModel(Module):
             z = self.encode(features, adj_norm, sample=False)
         self.train()
         return z.numpy().copy()
+
+    def last_embeddings(self) -> np.ndarray:
+        """Deterministic embeddings from the most recent :meth:`encode` call.
+
+        The posterior mean cached by ``encode`` is exactly what
+        :meth:`embed` would recompute with the same weights, so training
+        loops that already ran a forward pass this step can reuse it instead
+        of paying for a second encoder forward.
+        """
+        if self._last_mu is None:
+            raise RuntimeError("encode() has not been called yet")
+        return self._last_mu.numpy().copy()
 
     # ------------------------------------------------------------------
     # losses

@@ -1,0 +1,133 @@
+"""Deterministic multi-process execution of independent trials.
+
+Every trial in this library is identified by a fully serialisable
+:class:`~repro.api.spec.RunSpec`, and every source of randomness inside a
+trial is derived from the seeds carried by that spec.  A trial is therefore
+a *reproducible unit*: executing the same spec in another process yields the
+same metrics bit for bit.  This module exploits that to fan multi-seed
+workloads (the mean ± std tables, ``repro-run --jobs N``, the benchmark
+suite) out over a process pool while keeping results indistinguishable from
+a serial run:
+
+* :func:`run_trials` executes a list of specs and returns their
+  :class:`~repro.api.pipeline.RunResult` objects *in input order* —
+  ``run_trials(specs, jobs=4)`` equals ``run_trials(specs, jobs=1)``
+  element-wise (the trained model is not returned in either mode; models
+  hold autograd closures that cannot cross process boundaries).
+* :func:`run_seeded` expands one spec over a list of seeds.
+* :func:`parallel_map` is the underlying order-preserving pool map used by
+  the experiment runner for work units that are not spec-shaped (e.g. the
+  shared-pretraining D / R-D pairs of Tables 2, 4 and 17).
+
+Workers are plain ``concurrent.futures`` processes running this same code
+base; no third-party dependency is involved.
+"""
+
+from __future__ import annotations
+
+import copy
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, TypeVar, Union
+
+T = TypeVar("T")
+U = TypeVar("U")
+
+
+def default_jobs() -> int:
+    """Number of workers used when ``jobs`` is passed as ``"auto"``."""
+    return max(1, os.cpu_count() or 1)
+
+
+def resolve_jobs(jobs: Union[int, str, None], num_items: int) -> int:
+    """Normalise a ``jobs`` argument: ``None``→1, ``"auto"``→cpu count.
+
+    The result is clamped to ``num_items`` — extra workers would only sit
+    idle — and validated to be positive.
+    """
+    if jobs is None:
+        resolved = 1
+    elif isinstance(jobs, str):
+        if jobs != "auto":
+            raise ValueError(f"jobs must be a positive int, None or 'auto', got {jobs!r}")
+        resolved = default_jobs()
+    else:
+        resolved = int(jobs)
+    if resolved < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs!r}")
+    return max(1, min(resolved, num_items))
+
+
+def parallel_map(
+    fn: Callable[[T], U], items: Sequence[T], jobs: Union[int, str, None] = None
+) -> List[U]:
+    """Order-preserving map over a process pool.
+
+    With ``jobs in (None, 1)`` (or a single item) the map runs in-process,
+    which keeps tracebacks simple and avoids pool start-up cost.  ``fn``
+    must be an importable module-level function and ``items`` picklable
+    when ``jobs > 1``.
+    """
+    items = list(items)
+    jobs = resolve_jobs(jobs, len(items))
+    if jobs == 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        return list(pool.map(fn, items))
+
+
+# ----------------------------------------------------------------------
+# spec-based trial execution
+# ----------------------------------------------------------------------
+def _normalise_spec(spec: Any) -> Dict[str, Any]:
+    """Coerce a RunSpec / dict / JSON string into a plain spec dict."""
+    from repro.api.spec import RunSpec
+
+    if isinstance(spec, RunSpec):
+        return spec.to_dict()
+    if isinstance(spec, str):
+        return RunSpec.from_json(spec).to_dict()
+    if isinstance(spec, dict):
+        # Validate eagerly so malformed specs fail in the caller's process
+        # with a clean SpecError instead of inside a pool worker.
+        return RunSpec.from_dict(spec).to_dict()
+    from repro.errors import SpecError
+
+    raise SpecError(f"cannot execute a trial from {type(spec).__name__}")
+
+
+def _execute_spec(spec_dict: Dict[str, Any]):
+    """Pool worker: run one spec and return a process-portable result.
+
+    The trained model is dropped: its autograd tensors hold backward
+    closures that cannot be pickled, and keeping the serial path identical
+    to the parallel one is what makes ``jobs`` a pure throughput knob.
+    """
+    from repro.api.pipeline import Pipeline
+
+    result = Pipeline.from_spec(spec_dict).run()
+    result.model = None
+    return result
+
+
+def run_trials(specs: Iterable[Any], jobs: Union[int, str, None] = None) -> List[Any]:
+    """Execute specs (RunSpec / dict / JSON) and return results in order.
+
+    Each trial is seeded entirely by its spec, so the per-spec results are
+    bitwise identical regardless of ``jobs``; only wall-clock time changes.
+    """
+    spec_dicts = [_normalise_spec(spec) for spec in specs]
+    return parallel_map(_execute_spec, spec_dicts, jobs=jobs)
+
+
+def run_seeded(
+    spec: Any, seeds: Sequence[int], jobs: Union[int, str, None] = None
+) -> List[Any]:
+    """Run one spec once per seed (in ``seeds`` order), optionally pooled."""
+    base = _normalise_spec(spec)
+    expanded = []
+    for seed in seeds:
+        spec_dict = copy.deepcopy(base)
+        spec_dict["seed"] = int(seed)
+        expanded.append(spec_dict)
+    return run_trials(expanded, jobs=jobs)
