@@ -6,6 +6,7 @@ Usage::
     repro-run -                         # read the spec from stdin
     repro-run trial.json --print-spec   # echo the normalised spec and exit
     repro-run trial.json --seeds 0 1 2 3 --jobs 4   # multi-seed, pooled
+    repro-run trial.json --sampler cluster --batch-size 1024  # minibatch epochs
 
 Multi-seed runs: pass ``--seeds``, or give the spec a JSON list as its
 ``"seed"`` field (``"seed": [0, 1, 2, 3]``).  ``--jobs N`` fans the seeds
@@ -61,7 +62,66 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for multi-seed runs (an int, or 'auto' for "
         "every core); results are identical to --jobs 1",
     )
+    minibatch = parser.add_argument_group(
+        "minibatch training",
+        "stream subgraph blocks instead of full-graph epochs (rethink "
+        "trials only); overlays the spec's rethink overrides",
+    )
+    minibatch.add_argument(
+        "--sampler",
+        choices=("full", "neighbor", "cluster"),
+        default=None,
+        help="minibatch loader: 'cluster' (partition batches), 'neighbor' "
+        "(fanout sampling) or 'full' (single batch, equals the legacy loop)",
+    )
+    minibatch.add_argument(
+        "--batch-size",
+        type=int,
+        default=None,
+        metavar="B",
+        help="nodes per batch (seeds for --sampler neighbor, target part "
+        "size for --sampler cluster)",
+    )
+    minibatch.add_argument(
+        "--fanout",
+        type=int,
+        default=None,
+        metavar="F",
+        help="neighbours sampled per node and hop (--sampler neighbor)",
+    )
+    minibatch.add_argument(
+        "--num-hops",
+        type=int,
+        default=None,
+        metavar="H",
+        help="neighbourhood expansion rounds (--sampler neighbor)",
+    )
     return parser
+
+
+def _apply_minibatch_flags(pipeline, spec, args):
+    """Overlay --sampler / --batch-size / --fanout / --num-hops on the spec."""
+    overrides = {}
+    if args.sampler is not None:
+        overrides["sampler"] = args.sampler
+    for name, value in (
+        ("batch_size", args.batch_size),
+        ("fanout", args.fanout),
+        ("num_hops", args.num_hops),
+    ):
+        if value is not None:
+            overrides[name] = value
+    if not overrides:
+        return pipeline, spec
+    has_sampler = args.sampler is not None or "sampler" in spec.rethink.overrides
+    if spec.variant != "rethink" or not has_sampler:
+        raise SpecError(
+            "--batch-size/--fanout/--num-hops/--sampler configure minibatch "
+            "training, which needs a rethink trial with a sampler (pass "
+            '--sampler or put "sampler" in the spec\'s rethink overrides)'
+        )
+    pipeline = pipeline.rethink(**overrides)
+    return pipeline, pipeline.spec()
 
 
 def _parse_jobs(value: str):
@@ -89,7 +149,12 @@ def _load_spec_document(text: str):
         seed_list = data["seed"]
         if not seed_list:
             raise SpecError("the spec's seed list must not be empty")
-        seeds = [int(seed) for seed in seed_list]
+        try:
+            seeds = [int(seed) for seed in seed_list]
+        except (TypeError, ValueError):
+            raise SpecError(
+                f"the spec's seed list must contain integers, got {seed_list!r}"
+            ) from None
         data = dict(data)
         data["seed"] = seeds[0]
     return data, seeds
@@ -109,6 +174,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         data, spec_seeds = _load_spec_document(text)
         pipeline = Pipeline.from_spec(data)
         spec = pipeline.spec()
+        pipeline, spec = _apply_minibatch_flags(pipeline, spec, args)
     except (OSError, ReproError) as error:
         print(f"repro-run: {error}", file=sys.stderr)
         return 2

@@ -143,6 +143,31 @@ class Pipeline:
         clone._rethink = RethinkSpec(overrides=merged, use_paper_hyperparameters=use_paper)
         return clone
 
+    def minibatch(
+        self,
+        sampler: str = "cluster",
+        batch_size: Optional[int] = None,
+        fanout: Optional[int] = None,
+        num_hops: Optional[int] = None,
+        sampler_seed: Optional[int] = None,
+    ) -> "Pipeline":
+        """Run the R- phase with a :mod:`repro.minibatch` loader.
+
+        Convenience over :meth:`rethink`: ``sampler`` is "full", "neighbor"
+        or "cluster"; the remaining arguments overlay the corresponding
+        :class:`~repro.core.rethink.RethinkConfig` fields when given.
+        """
+        overrides: Dict[str, Any] = {"sampler": sampler}
+        if batch_size is not None:
+            overrides["batch_size"] = batch_size
+        if fanout is not None:
+            overrides["fanout"] = fanout
+        if num_hops is not None:
+            overrides["num_hops"] = num_hops
+        if sampler_seed is not None:
+            overrides["sampler_seed"] = sampler_seed
+        return self.rethink(**overrides)
+
     def variant(self, variant: str) -> "Pipeline":
         """Select "base" or "rethink" by name (spec-style)."""
         if variant not in ("base", "rethink"):
@@ -236,20 +261,26 @@ class Pipeline:
     # execution
     # ------------------------------------------------------------------
     def _resolve_graph(self, spec: RunSpec):
-        from repro.datasets.registry import DATASETS
+        from repro.parallel import load_dataset_cached
 
         if self._graph is not None:
             return self._graph
-        builder = DATASETS[spec.dataset.name]
-        return builder(spec.dataset.seed, **spec.dataset.options)
+        # Per-process LRU: repeated trials on the same dataset spec (multi-seed
+        # sweeps, pool workers) build the graph once.  Cached graphs are
+        # shared, so the whole stack treats AttributedGraph as immutable.
+        return load_dataset_cached(
+            spec.dataset.name, spec.dataset.seed, spec.dataset.options
+        )
 
     def run(self) -> RunResult:
         """Execute the trial end-to-end and return its :class:`RunResult`."""
         from repro.api.callbacks import resolve_callbacks
         from repro.core.rethink import RethinkConfig, RethinkTrainer
         from repro.experiments.config import rethink_hyperparameters
+        from repro.graph.sparse import sparse_threshold_overrides
         from repro.metrics.report import evaluate_clustering
         from repro.models.registry import MODELS, build_model
+        from repro.parallel import dataset_cache_info
 
         spec = self.spec()
         start = time.perf_counter()
@@ -273,30 +304,37 @@ class Pipeline:
             settings.update(spec.rethink.overrides)
             config = RethinkConfig(**settings)
 
-        if self._pretrained_state is not None:
-            model.load_state_dict(self._pretrained_state)
-        else:
-            model.pretrain(
-                graph,
-                epochs=spec.training.pretrain_epochs,
-                verbose=config.verbose if config is not None else False,
-            )
-
-        history = None
-        if spec.variant == "base":
-            if MODELS.metadata(spec.model.name).get("group") == "second":
-                model.fit_clustering(graph, epochs=spec.training.clustering_epochs)
-        else:
-            callbacks = resolve_callbacks(spec.callbacks) + list(self._callback_objects)
-            trainer = RethinkTrainer(model, config, callbacks=callbacks)
-            history = trainer.fit(graph, pretrained=True)
-
-        report = None
-        if graph.labels is not None:
-            if history is not None and history.final_report is not None:
-                report = history.final_report
+        # Apply any configured sparse-backend thresholds to the whole trial
+        # (pretraining included — the trainer re-applies them inside fit for
+        # callers that drive RethinkTrainer directly).
+        with sparse_threshold_overrides(
+            config.sparse_node_threshold if config is not None else None,
+            config.sparse_density_threshold if config is not None else None,
+        ):
+            if self._pretrained_state is not None:
+                model.load_state_dict(self._pretrained_state)
             else:
-                report = evaluate_clustering(graph.labels, model.predict_labels(graph))
+                model.pretrain(
+                    graph,
+                    epochs=spec.training.pretrain_epochs,
+                    verbose=config.verbose if config is not None else False,
+                )
+
+            history = None
+            if spec.variant == "base":
+                if MODELS.metadata(spec.model.name).get("group") == "second":
+                    model.fit_clustering(graph, epochs=spec.training.clustering_epochs)
+            else:
+                callbacks = resolve_callbacks(spec.callbacks) + list(self._callback_objects)
+                trainer = RethinkTrainer(model, config, callbacks=callbacks)
+                history = trainer.fit(graph, pretrained=True)
+
+            report = None
+            if graph.labels is not None:
+                if history is not None and history.final_report is not None:
+                    report = history.final_report
+                else:
+                    report = evaluate_clustering(graph.labels, model.predict_labels(graph))
         runtime = time.perf_counter() - start
         return RunResult(
             spec=spec,
@@ -304,6 +342,7 @@ class Pipeline:
             runtime_seconds=runtime,
             history=history,
             model=model,
+            extra={"dataset_cache": dataset_cache_info()},
         )
 
     def run_trials(self, seeds, jobs=None) -> List[RunResult]:

@@ -70,10 +70,10 @@ def feature_randomness_metric(
     the Hungarian-aligned oracle assignments ``Q'`` on all nodes.  Values lie
     in [-1, 1]; higher means less Feature Randomness.
     """
-    if not hasattr(model, "clustering_loss_with_target"):
+    if getattr(model, "group", None) != "second":
         raise TypeError(
-            "feature_randomness_metric requires a model exposing "
-            "clustering_loss_with_target (a second-group model)"
+            "feature_randomness_metric requires a second-group model (one "
+            "with a differentiable clustering loss and soft assignment)"
         )
 
     def pseudo_loss() -> Tensor:

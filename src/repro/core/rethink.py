@@ -56,6 +56,27 @@ class RethinkConfig:
     pretrain_epochs: int = 200
     convergence_fraction: float = 0.9
     stop_at_convergence: bool = True
+    # Minibatch training (repro.minibatch) -------------------------------
+    #: None runs the legacy full-graph loop; "full" / "neighbor" / "cluster"
+    #: run the minibatch path with the corresponding loader ("full" is the
+    #: 1e-10 equivalence anchor: one batch covering the whole graph).
+    sampler: Optional[str] = None
+    #: nodes per batch (seed nodes for "neighbor", target part size for
+    #: "cluster"); None uses the loader default of min(N, 256).
+    batch_size: Optional[int] = None
+    #: neighbours sampled per frontier node and hop ("neighbor" only).
+    fanout: int = 10
+    #: neighbourhood expansion rounds ("neighbor" only).
+    num_hops: int = 2
+    #: seed of the batch shuffles / neighbour sampling; None derives it from
+    #: the model seed so equal specs give identical minibatch sequences.
+    sampler_seed: Optional[int] = None
+    # Sparse-backend auto-promotion thresholds ---------------------------
+    #: override the ≥256-node / ≤25%-density CSR promotion thresholds for
+    #: every propagation_matrix call made during this fit (None keeps the
+    #: REPRO_SPARSE_* environment variables / module defaults).
+    sparse_node_threshold: Optional[int] = None
+    sparse_density_threshold: Optional[float] = None
     # Ablation switches -------------------------------------------------
     protection_delay: int = 0
     single_step_transform: bool = False
@@ -120,6 +141,31 @@ class RethinkConfig:
             )
         if self.protection_delay < 0:
             raise ConfigError(f"protection_delay must be >= 0, got {self.protection_delay!r}")
+        if self.sampler is not None:
+            from repro.minibatch.loaders import SAMPLERS
+
+            if self.sampler not in SAMPLERS:
+                raise ConfigError(
+                    f"sampler must be one of {', '.join(SAMPLERS)} (or None for "
+                    f"the full-graph loop), got {self.sampler!r}"
+                )
+        if self.batch_size is not None and self.batch_size < 1:
+            raise ConfigError(f"batch_size must be >= 1, got {self.batch_size!r}")
+        for name in ("fanout", "num_hops"):
+            value = getattr(self, name)
+            if value < 1:
+                raise ConfigError(f"{name} must be >= 1, got {value!r}")
+        if self.sparse_node_threshold is not None and self.sparse_node_threshold < 0:
+            raise ConfigError(
+                f"sparse_node_threshold must be >= 0, got {self.sparse_node_threshold!r}"
+            )
+        if self.sparse_density_threshold is not None and not (
+            0.0 <= self.sparse_density_threshold <= 1.0
+        ):
+            raise ConfigError(
+                f"sparse_density_threshold must lie in [0, 1], "
+                f"got {self.sparse_density_threshold!r}"
+            )
         if self.gamma is not None and self.gamma < 0.0:
             raise ConfigError(f"gamma must be >= 0, got {self.gamma!r}")
         if model_group == "second" and self.gamma is None and model_gamma is None:
@@ -207,6 +253,8 @@ class RethinkTrainer:
         self.last_sampling_: Optional[SamplingResult] = None
         #: history of the current / most recent fit (visible to callbacks).
         self.history_: Optional[RethinkHistory] = None
+        #: minibatch loader of the current fit (None on the full-graph path).
+        self.loader_ = None
         #: model inputs of the current fit (visible to callbacks).
         self.features_: Optional[np.ndarray] = None
         self.adj_norm_: Optional[np.ndarray] = None
@@ -235,18 +283,25 @@ class RethinkTrainer:
 
     def _apply_transform(
         self,
-        graph: AttributedGraph,
+        adjacency,
+        num_nodes: int,
         embeddings: np.ndarray,
         sampling: SamplingResult,
-    ) -> np.ndarray:
-        """Run Υ, honouring the single-step and use_graph_transform ablations."""
+    ):
+        """Run Υ, honouring the single-step and use_graph_transform ablations.
+
+        ``adjacency`` is the original input graph A in either backend — the
+        legacy loop passes the dense ``graph.adjacency``, the minibatch loop
+        passes whatever :func:`~repro.graph.sparse.adjacency_backend` picked
+        (Υ produces the matching backend).
+        """
         if not self.config.use_graph_transform:
-            return graph.adjacency.copy()
+            return adjacency.copy()
         nodes = sampling.reliable_nodes
         if self.config.single_step_transform:
-            nodes = np.arange(graph.num_nodes)
+            nodes = np.arange(num_nodes)
         return self.transform(
-            graph.adjacency, sampling.soft_assignments, nodes, embeddings
+            adjacency, sampling.soft_assignments, nodes, embeddings
         )
 
     # ------------------------------------------------------------------
@@ -263,7 +318,26 @@ class RethinkTrainer:
         return callbacks
 
     def fit(self, graph: AttributedGraph, pretrained: bool = False) -> RethinkHistory:
-        """Run (optionally) pretraining then the R- clustering phase."""
+        """Run (optionally) pretraining then the R- clustering phase.
+
+        With ``config.sampler`` unset the legacy full-graph loop runs; with a
+        sampler name ("full" / "neighbor" / "cluster") the epoch is a stream
+        of :class:`~repro.minibatch.loaders.Minibatch` blocks while Ξ and Υ
+        keep operating on full-graph state refreshed at epoch boundaries.
+        Any configured sparse-backend thresholds apply to every
+        ``propagation_matrix`` call made inside the fit.
+        """
+        from repro.graph.sparse import sparse_threshold_overrides
+
+        with sparse_threshold_overrides(
+            self.config.sparse_node_threshold, self.config.sparse_density_threshold
+        ):
+            if self.config.sampler is None:
+                return self._fit_full_graph(graph, pretrained)
+            return self._fit_minibatch(graph, pretrained)
+
+    def _fit_full_graph(self, graph: AttributedGraph, pretrained: bool) -> RethinkHistory:
+        """The legacy loop: one forward/backward over the whole adjacency."""
         config = self.config
         model = self.model
         if not pretrained:
@@ -282,7 +356,9 @@ class RethinkTrainer:
 
         sampling = self._apply_sampling(embeddings, epoch=0, num_nodes=graph.num_nodes)
         self.last_sampling_ = sampling
-        self.self_supervision_graph_ = self._apply_transform(graph, embeddings, sampling)
+        self.self_supervision_graph_ = self._apply_transform(
+            graph.adjacency, graph.num_nodes, embeddings, sampling
+        )
         callbacks.on_train_begin(graph, history)
 
         for epoch in range(config.epochs):
@@ -305,7 +381,7 @@ class RethinkTrainer:
                 callbacks.on_omega_update(epoch, sampling)
             if refresh_graph:
                 self.self_supervision_graph_ = self._apply_transform(
-                    graph, embeddings, sampling
+                    graph.adjacency, graph.num_nodes, embeddings, sampling
                 )
                 callbacks.on_graph_transform(epoch, self.self_supervision_graph_)
 
@@ -321,6 +397,7 @@ class RethinkTrainer:
                 loss = reconstruction
             loss.backward()
             optimizer.step()
+            loss.release_graph()
 
             history.losses.append(loss.item())
             history.reconstruction_losses.append(reconstruction.item())
@@ -343,6 +420,170 @@ class RethinkTrainer:
                     "reconstruction_loss": reconstruction.item(),
                     "num_reliable": sampling.num_reliable,
                     "coverage": sampling.coverage(),
+                },
+            )
+            if self.stop_training:
+                break
+
+        if graph.labels is not None:
+            history.final_report = evaluate_clustering(
+                graph.labels, self.predict_labels(graph)
+            )
+        callbacks.on_train_end(history)
+        return history
+
+    # ------------------------------------------------------------------
+    # minibatch loop
+    # ------------------------------------------------------------------
+    def _supervision_block(self, node_ids: np.ndarray) -> np.ndarray:
+        """Dense (B, B) block of the self-supervision graph for a batch."""
+        from repro.graph.sparse import SparseAdjacency
+
+        graph_matrix = self.self_supervision_graph_
+        if isinstance(graph_matrix, SparseAdjacency):
+            return graph_matrix.induced_subgraph(node_ids).to_dense()
+        n = graph_matrix.shape[0]
+        if node_ids.shape[0] == n and np.array_equal(node_ids, np.arange(n)):
+            # Full batch in original order: skip the O(N²) fancy-indexed copy.
+            return graph_matrix
+        return graph_matrix[np.ix_(node_ids, node_ids)]
+
+    def _fit_minibatch(self, graph: AttributedGraph, pretrained: bool) -> RethinkHistory:
+        """Per-batch R- training over a :mod:`repro.minibatch` loader.
+
+        The operators stay on full-graph state: every ``M1`` / ``M2``
+        boundary recomputes full-graph embeddings (``model.embed``), which
+        yields exactly the posterior mean the legacy loop reuses from its
+        in-epoch forward pass — and consumes no RNG — so driving this path
+        with the full-batch loader reproduces `_fit_full_graph` to 1e-10.
+        Gradient steps then run per batch: encode on the batch's own
+        propagation block, reconstruct against the induced block of
+        ``A_self_clus``, and restrict the clustering loss to the decidable
+        nodes Ω that fall inside the batch.
+        """
+        from repro.graph.sparse import adjacency_backend
+        from repro.minibatch.loaders import build_loader
+
+        config = self.config
+        model = self.model
+        if not pretrained:
+            model.pretrain(graph, epochs=config.pretrain_epochs, verbose=config.verbose)
+        features, adj_norm = model.prepare_inputs(graph)
+        self.features_, self.adj_norm_ = features, adj_norm
+        embeddings = model.embed(graph)
+        model.init_clustering(embeddings)
+        if getattr(model, "group", None) == "second" and model.clustering_target() is None:
+            raise ConfigError(
+                f"{type(model).__name__} is a second-group model without a "
+                "per-node clustering target (clustering_target() is None); "
+                "its clustering loss cannot be restricted to a minibatch"
+            )
+
+        sampler_seed = model.seed if config.sampler_seed is None else config.sampler_seed
+        loader = build_loader(
+            config.sampler,
+            graph,
+            batch_size=config.batch_size,
+            fanout=config.fanout,
+            num_hops=config.num_hops,
+            seed=sampler_seed,
+        )
+        self.loader_ = loader
+        # Υ reads the original graph A in whichever backend the thresholds
+        # pick; batch targets are sliced from the result, so a promoted
+        # graph never materialises the dense (N, N) self-supervision matrix.
+        base_adjacency = adjacency_backend(graph.adjacency)
+
+        optimizer = Adam(model.parameters(), lr=model.learning_rate)
+        gamma = model.gamma if config.gamma is None else config.gamma
+        history = RethinkHistory()
+        self.history_ = history
+        self.stop_training = False
+        callbacks = self._build_callbacks()
+
+        sampling = self._apply_sampling(embeddings, epoch=0, num_nodes=graph.num_nodes)
+        self.last_sampling_ = sampling
+        self.self_supervision_graph_ = self._apply_transform(
+            base_adjacency, graph.num_nodes, embeddings, sampling
+        )
+        callbacks.on_train_begin(graph, history)
+
+        for epoch in range(config.epochs):
+            callbacks.on_epoch_begin(epoch)
+            refresh_omega = epoch % config.update_omega_every == 0
+            refresh_graph = epoch % config.update_graph_every == 0
+            if refresh_omega or refresh_graph:
+                embeddings = model.embed(graph)
+                model.refresh_clustering(embeddings)
+            if refresh_omega:
+                sampling = self._apply_sampling(embeddings, epoch, graph.num_nodes)
+                self.last_sampling_ = sampling
+                callbacks.on_omega_update(epoch, sampling)
+            if refresh_graph:
+                self.self_supervision_graph_ = self._apply_transform(
+                    base_adjacency, graph.num_nodes, embeddings, sampling
+                )
+                callbacks.on_graph_transform(epoch, self.self_supervision_graph_)
+
+            reliable_mask = sampling.mask()
+            target = model.clustering_target()
+            batch_losses: List[float] = []
+            batch_reconstructions: List[float] = []
+            batch_clusterings: List[float] = []
+            for batch in loader.epoch_batches(epoch):
+                optimizer.zero_grad()
+                z = model.encode(batch.features, batch.adj_norm)
+                reconstruction = model.reconstruction_loss(
+                    z, self._supervision_block(batch.node_ids)
+                )
+                regularization = model.regularization_loss(z)
+                if regularization is not None:
+                    reconstruction = reconstruction + regularization
+                if target is not None:
+                    clustering = model.clustering_loss_with_target(
+                        z,
+                        target[batch.node_ids],
+                        batch.local_indices_of(reliable_mask),
+                    )
+                    loss = clustering + reconstruction * gamma
+                    batch_clusterings.append(clustering.item())
+                else:
+                    loss = reconstruction
+                loss.backward()
+                optimizer.step()
+                batch_losses.append(loss.item())
+                batch_reconstructions.append(reconstruction.item())
+                # Free this step's graph now: its closures form reference
+                # cycles that would otherwise accumulate across batches
+                # until the cyclic GC runs, inflating peak memory.
+                loss.release_graph()
+
+            mean_loss = float(np.mean(batch_losses))
+            mean_reconstruction = float(np.mean(batch_reconstructions))
+            history.losses.append(mean_loss)
+            history.reconstruction_losses.append(mean_reconstruction)
+            if batch_clusterings:
+                history.clustering_losses.append(float(np.mean(batch_clusterings)))
+            history.omega_sizes.append(sampling.num_reliable)
+            history.omega_coverage.append(sampling.coverage())
+            history.epochs_run = epoch + 1
+
+            should_evaluate = (
+                epoch % config.evaluate_every == 0 or epoch == config.epochs - 1
+            )
+            if should_evaluate:
+                from repro.api.callbacks import EvaluationContext
+
+                callbacks.on_evaluate(epoch, EvaluationContext(self, graph, epoch))
+
+            callbacks.on_epoch_end(
+                epoch,
+                {
+                    "loss": mean_loss,
+                    "reconstruction_loss": mean_reconstruction,
+                    "num_reliable": sampling.num_reliable,
+                    "coverage": sampling.coverage(),
+                    "num_batches": float(len(batch_losses)),
                 },
             )
             if self.stop_training:

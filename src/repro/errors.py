@@ -32,6 +32,12 @@ class UnknownEntryError(ReproError, KeyError):
     def __str__(self) -> str:  # KeyError.__str__ would repr() the message
         return self.args[0]
 
+    def __reduce__(self):
+        # Exception.__reduce__ would replay __init__ with self.args (the
+        # message alone) and fail; pool workers pickle raised errors back to
+        # the parent, so spell out the real constructor arguments.
+        return (type(self), (self.kind, self.name, self.available))
+
 
 class ConfigError(ReproError, ValueError):
     """A configuration object failed validation."""
@@ -45,6 +51,11 @@ class UnknownVariantError(ReproError, ValueError):
         super().__init__(
             f"unknown variant {variant!r}; expected 'base' or 'rethink'"
         )
+
+    def __reduce__(self):
+        # See UnknownEntryError.__reduce__: keep the pickle round-trip from
+        # re-wrapping the formatted message as if it were the variant.
+        return (type(self), (self.variant,))
 
 
 class SpecError(ReproError, ValueError):

@@ -157,7 +157,11 @@ def _run_pair_seed(task) -> tuple:
     worker from those seeds.
     """
     model_name, dataset_name, config, rethink_overrides, seed = task
-    graph = load_dataset(dataset_name, seed=config.base_seed)
+    from repro.parallel import load_dataset_cached
+
+    # Per-process memoisation: a worker handling several seeds of the same
+    # sweep builds the (shared, immutable) graph once.
+    graph = load_dataset_cached(dataset_name, seed=config.base_seed)
     # Shared pretraining snapshot for fairness.
     pretrain_model = build_model(
         model_name, graph.num_features, graph.num_clusters, seed=seed

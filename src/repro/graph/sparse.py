@@ -22,6 +22,8 @@ model uses.
 
 from __future__ import annotations
 
+import os
+from contextlib import contextmanager
 from typing import Optional, Tuple, Union
 
 import numpy as np
@@ -29,7 +31,10 @@ import numpy as np
 __all__ = [
     "SparseAdjacency",
     "as_sparse_adjacency",
+    "adjacency_backend",
     "propagation_matrix",
+    "resolved_sparse_thresholds",
+    "sparse_threshold_overrides",
     "SPARSE_NODE_THRESHOLD",
     "SPARSE_DENSITY_THRESHOLD",
 ]
@@ -40,6 +45,60 @@ SPARSE_NODE_THRESHOLD = 256
 
 #: above this edge density CSR stops paying for itself.
 SPARSE_DENSITY_THRESHOLD = 0.25
+
+#: environment variables overriding the two constants above (read per call,
+#: so a worker process can be reconfigured without touching code).
+SPARSE_NODE_THRESHOLD_ENV = "REPRO_SPARSE_NODE_THRESHOLD"
+SPARSE_DENSITY_THRESHOLD_ENV = "REPRO_SPARSE_DENSITY_THRESHOLD"
+
+# Process-wide programmatic overrides, set via sparse_threshold_overrides().
+# Resolution order: explicit argument > override > environment > constant.
+_node_threshold_override: Optional[int] = None
+_density_threshold_override: Optional[float] = None
+
+
+def resolved_sparse_thresholds() -> Tuple[int, float]:
+    """The effective (node, density) auto-promotion thresholds.
+
+    Each threshold resolves, in order, from the programmatic override
+    (:func:`sparse_threshold_overrides`), the ``REPRO_SPARSE_NODE_THRESHOLD``
+    / ``REPRO_SPARSE_DENSITY_THRESHOLD`` environment variables, and finally
+    the module constants.
+    """
+    node = _node_threshold_override
+    if node is None:
+        env = os.environ.get(SPARSE_NODE_THRESHOLD_ENV)
+        node = int(env) if env else SPARSE_NODE_THRESHOLD
+    density = _density_threshold_override
+    if density is None:
+        env = os.environ.get(SPARSE_DENSITY_THRESHOLD_ENV)
+        density = float(env) if env else SPARSE_DENSITY_THRESHOLD
+    return int(node), float(density)
+
+
+@contextmanager
+def sparse_threshold_overrides(
+    node_threshold: Optional[int] = None,
+    density_threshold: Optional[float] = None,
+):
+    """Temporarily override the auto-promotion thresholds process-wide.
+
+    ``None`` leaves the corresponding threshold untouched, so the context is
+    a no-op unless at least one value is given.  Used by the trainers to
+    apply :class:`~repro.core.rethink.RethinkConfig` threshold settings to
+    every ``propagation_matrix`` call made during a fit (including the ones
+    inside ``model.embed`` / ``model.pretrain``).
+    """
+    global _node_threshold_override, _density_threshold_override
+    previous = (_node_threshold_override, _density_threshold_override)
+    if node_threshold is not None:
+        _node_threshold_override = int(node_threshold)
+    if density_threshold is not None:
+        _density_threshold_override = float(density_threshold)
+    try:
+        yield
+    finally:
+        _node_threshold_override, _density_threshold_override = previous
 
 
 class SparseAdjacency:
@@ -338,6 +397,83 @@ class SparseAdjacency:
     def __matmul__(self, other) -> np.ndarray:
         return self.matmul(other)
 
+    # ------------------------------------------------------------------
+    # subgraph extraction and neighbour sampling (minibatch substrate)
+    # ------------------------------------------------------------------
+    def _gather_rows(self, rows: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Positions, per-row counts and local row ids of the entries stored
+        in the given rows, gathered without any python-level loop."""
+        starts = self.indptr[rows]
+        counts = self.indptr[rows + 1] - starts
+        total = int(counts.sum())
+        if total == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, counts, empty
+        # offset of each gathered entry inside its own row slice
+        ends = np.cumsum(counts)
+        offsets = np.arange(total, dtype=np.int64) - np.repeat(ends - counts, counts)
+        positions = np.repeat(starts, counts) + offsets
+        local_rows = np.repeat(np.arange(rows.shape[0], dtype=np.int64), counts)
+        return positions, counts, local_rows
+
+    def induced_subgraph(self, nodes: np.ndarray) -> "SparseAdjacency":
+        """The subgraph induced by ``nodes``, renumbered to ``0..len(nodes)-1``.
+
+        Row/column ``i`` of the result corresponds to ``nodes[i]`` (the given
+        order defines the renumbering, so callers control the block layout).
+        Every stored entry whose endpoints both lie in ``nodes`` is kept with
+        its value; everything else is dropped.  Cost is O(deg(nodes) + B log B).
+        """
+        nodes = np.asarray(nodes, dtype=np.int64)
+        if nodes.ndim != 1:
+            raise ValueError(f"nodes must be a 1-D index array, got shape {nodes.shape}")
+        if nodes.size and (nodes.min() < 0 or nodes.max() >= self.shape[0]):
+            raise ValueError("node indices out of range")
+        if np.unique(nodes).shape[0] != nodes.shape[0]:
+            raise ValueError("nodes must not contain duplicates")
+        local = np.full(self.shape[0], -1, dtype=np.int64)
+        local[nodes] = np.arange(nodes.shape[0], dtype=np.int64)
+        positions, _, local_rows = self._gather_rows(nodes)
+        cols = self.indices[positions]
+        keep = local[cols] >= 0
+        return SparseAdjacency.from_coo(
+            local_rows[keep], local[cols[keep]], self.data[positions[keep]], nodes.shape[0]
+        )
+
+    def sample_neighbors(
+        self,
+        seeds: np.ndarray,
+        fanout: int,
+        rng: np.random.Generator,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Sample up to ``fanout`` neighbours of each seed without replacement.
+
+        Returns ``(sources, targets)`` — global node ids of the sampled
+        edges, grouped by seed.  Seeds with degree ≤ ``fanout`` keep all
+        their neighbours.  Sampling is fully vectorised (a random key per
+        candidate edge, ranked within each seed's slice) and deterministic
+        for a given ``rng`` state, which is what makes minibatch sequences
+        reproducible across processes.
+        """
+        seeds = np.asarray(seeds, dtype=np.int64)
+        if fanout < 1:
+            raise ValueError(f"fanout must be >= 1, got {fanout}")
+        if seeds.size and (seeds.min() < 0 or seeds.max() >= self.shape[0]):
+            raise ValueError("seed indices out of range")
+        positions, counts, local_rows = self._gather_rows(seeds)
+        if positions.size == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty
+        keys = rng.random(positions.shape[0])
+        # Stable group-by-seed sort with random order inside each group.
+        order = np.lexsort((keys, local_rows))
+        ends = np.cumsum(counts)
+        rank_in_group = np.arange(positions.shape[0], dtype=np.int64) - np.repeat(
+            ends - counts, counts
+        )
+        chosen = order[rank_in_group < fanout]
+        return seeds[local_rows[chosen]], self.indices[positions[chosen]]
+
     def quadratic_form_cross_term(self, embeddings: np.ndarray) -> float:
         """``Σ_ij a_ij (z_i · z_j)`` computed edge-wise, never forming Z Zᵀ."""
         if not self.nnz:
@@ -365,6 +501,45 @@ def as_sparse_adjacency(
     return SparseAdjacency.from_dense(adjacency)
 
 
+def _should_promote(
+    dense: np.ndarray,
+    node_threshold: Optional[int],
+    density_threshold: Optional[float],
+) -> bool:
+    """Whether a dense adjacency crosses the CSR auto-promotion thresholds."""
+    resolved_node, resolved_density = resolved_sparse_thresholds()
+    if node_threshold is None:
+        node_threshold = resolved_node
+    if density_threshold is None:
+        density_threshold = resolved_density
+    n = dense.shape[0]
+    if n == 0:
+        return False
+    density = float(np.count_nonzero(dense)) / (n * n)
+    return n >= node_threshold and density <= density_threshold
+
+
+def adjacency_backend(
+    adjacency: Union[np.ndarray, SparseAdjacency],
+    node_threshold: Optional[int] = None,
+    density_threshold: Optional[float] = None,
+) -> Union[np.ndarray, SparseAdjacency]:
+    """The *unnormalised* adjacency in the backend the thresholds pick.
+
+    Sparse input stays sparse; dense input is converted to CSR exactly when
+    :func:`propagation_matrix` would promote it (same thresholds, same
+    resolution order), and returned unchanged otherwise.  This is how the
+    minibatch trainer chooses the representation of the self-supervision
+    graph it slices per batch.
+    """
+    if isinstance(adjacency, SparseAdjacency):
+        return adjacency
+    dense = np.asarray(adjacency, dtype=np.float64)
+    if _should_promote(dense, node_threshold, density_threshold):
+        return SparseAdjacency.from_dense(dense)
+    return dense
+
+
 def propagation_matrix(
     adjacency: Union[np.ndarray, SparseAdjacency],
     self_loops: bool = True,
@@ -379,21 +554,17 @@ def propagation_matrix(
     :func:`~repro.graph.laplacian.normalize_adjacency` result is returned, so
     small graphs keep the exact BLAS code path (and bit-identical results).
 
-    The thresholds default to the module-level ``SPARSE_NODE_THRESHOLD`` and
-    ``SPARSE_DENSITY_THRESHOLD``, read at call time so they can be
-    reconfigured globally (e.g. forced dense for an A/B comparison).
+    The thresholds resolve at call time through
+    :func:`resolved_sparse_thresholds` — explicit arguments beat the
+    :func:`sparse_threshold_overrides` context (set e.g. from
+    ``RethinkConfig``), which beats the ``REPRO_SPARSE_*`` environment
+    variables, which beat the module constants.
     """
     from repro.graph.laplacian import normalize_adjacency
 
-    if node_threshold is None:
-        node_threshold = SPARSE_NODE_THRESHOLD
-    if density_threshold is None:
-        density_threshold = SPARSE_DENSITY_THRESHOLD
     if isinstance(adjacency, SparseAdjacency):
         return adjacency.normalize(self_loops=self_loops)
     dense = np.asarray(adjacency, dtype=np.float64)
-    n = dense.shape[0]
-    density = float(np.count_nonzero(dense)) / (n * n) if n else 0.0
-    if n >= node_threshold and density <= density_threshold:
+    if _should_promote(dense, node_threshold, density_threshold):
         return SparseAdjacency.from_dense(dense).normalize(self_loops=self_loops)
     return normalize_adjacency(dense, self_loops=self_loops)

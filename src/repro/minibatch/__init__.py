@@ -1,0 +1,46 @@
+"""repro.minibatch — subgraph sampling loaders between the graph substrate
+and the trainers.
+
+The full-graph R- training loop caps the dataset size at whatever a dense
+``(N, N)`` reconstruction epoch can afford.  This package streams
+*renumbered subgraph blocks* instead:
+
+* :class:`~repro.minibatch.partition.ClusterPartitioner` — METIS-free
+  seeded-BFS edge-cut partitioning over the CSR backend, producing a
+  reusable :class:`~repro.minibatch.partition.GraphPartition`;
+* :class:`~repro.minibatch.loaders.NeighborLoader` /
+  :class:`~repro.minibatch.loaders.ClusterLoader` — GraphSAGE-style
+  neighbour sampling and Cluster-GCN-style partition batches, both yielding
+  :class:`~repro.minibatch.loaders.Minibatch` objects (global node ids,
+  renumbered CSR block, feature slice, per-batch normalisation);
+* :class:`~repro.minibatch.loaders.FullBatchLoader` — the whole graph as a
+  single batch, reproducing the legacy full-graph trainer to 1e-10.
+
+The consumer is ``RethinkTrainer``: set ``RethinkConfig.sampler`` (or pass
+``repro-run --sampler cluster --batch-size 1024``) and the clustering phase
+runs per-batch while the operators Ξ and Υ keep working on full-graph state
+refreshed at epoch boundaries.
+"""
+
+from repro.minibatch.loaders import (
+    SAMPLERS,
+    ClusterLoader,
+    FullBatchLoader,
+    Minibatch,
+    MinibatchLoader,
+    NeighborLoader,
+    build_loader,
+)
+from repro.minibatch.partition import ClusterPartitioner, GraphPartition
+
+__all__ = [
+    "SAMPLERS",
+    "Minibatch",
+    "MinibatchLoader",
+    "FullBatchLoader",
+    "NeighborLoader",
+    "ClusterLoader",
+    "ClusterPartitioner",
+    "GraphPartition",
+    "build_loader",
+]

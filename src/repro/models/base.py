@@ -283,6 +283,47 @@ class GAEClusteringModel(Module):
         """
         return None
 
+    def soft_assignment_tensor(self, z: Tensor) -> Tensor:
+        """Differentiable (B, K) soft assignment of ``z`` (second group only)."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not define a differentiable soft assignment"
+        )
+
+    def clustering_target(self) -> Optional[np.ndarray]:
+        """The (N, K) per-node target the clustering loss is computed against.
+
+        Second-group models return their sharpened target distribution Q so
+        the minibatch trainer can slice it by global node id; first-group
+        models (no differentiable clustering loss) return ``None``.
+        """
+        return None
+
+    def clustering_loss_with_target(
+        self,
+        z: Tensor,
+        target: np.ndarray,
+        node_indices: Optional[np.ndarray] = None,
+    ) -> Tensor:
+        """KL(target || P) against an arbitrary (B, K) target distribution.
+
+        Rows of ``target`` align with rows of ``z`` (a minibatch slices both
+        by the same global node ids); ``node_indices`` then restricts the
+        loss to a subset of those rows.  Used by the regular clustering loss
+        (with the sharpened target Q), by the minibatch trainer (with a
+        per-batch slice of Q) and by the Λ_FR diagnostic (with the
+        Hungarian-aligned oracle Q').
+        """
+        assignments = self.soft_assignment_tensor(z)
+        target = np.asarray(target, dtype=np.float64)
+        if node_indices is not None:
+            node_indices = np.asarray(node_indices, dtype=np.int64)
+            if node_indices.size == 0:
+                return Tensor(0.0)
+            assignments = assignments[node_indices]
+            target = target[node_indices]
+        count = max(target.shape[0], 1)
+        return F.kl_divergence_rows(target, assignments) * (1.0 / count)
+
     # ------------------------------------------------------------------
     # clustering interface
     # ------------------------------------------------------------------
@@ -353,6 +394,7 @@ class GAEClusteringModel(Module):
             loss.backward()
             self.pretrain_step_hook(z, features, adj_norm, optimizer)
             optimizer.step()
+            loss.release_graph()
             history.losses.append(loss.item())
             if verbose and epoch % 20 == 0:
                 print(f"[pretrain:{self.__class__.__name__}] epoch {epoch} loss {loss.item():.4f}")

@@ -20,7 +20,6 @@ import numpy as np
 from repro.clustering.assignments import soft_assignment_student_t, target_distribution
 from repro.clustering.kmeans import KMeans
 from repro.models.base import GAEClusteringModel
-from repro.nn import functional as F
 from repro.nn.optim import Adam
 from repro.nn.tensor import Tensor
 
@@ -106,27 +105,9 @@ class DGAE(GAEClusteringModel):
             raise RuntimeError("init_clustering must run before the clustering loss")
         return self.clustering_loss_with_target(z, self._target, node_indices)
 
-    def clustering_loss_with_target(
-        self,
-        z: Tensor,
-        target: np.ndarray,
-        node_indices: Optional[np.ndarray] = None,
-    ) -> Tensor:
-        """KL(target || P) against an arbitrary (N, K) target distribution.
-
-        Used both by the regular clustering loss (with the sharpened target
-        Q) and by the Λ_FR diagnostic (with the Hungarian-aligned oracle Q').
-        """
-        assignments = self.soft_assignment_tensor(z)
-        target = np.asarray(target, dtype=np.float64)
-        if node_indices is not None:
-            node_indices = np.asarray(node_indices, dtype=np.int64)
-            if node_indices.size == 0:
-                return Tensor(0.0)
-            assignments = assignments[node_indices]
-            target = target[node_indices]
-        count = max(target.shape[0], 1)
-        return F.kl_divergence_rows(target, assignments) * (1.0 / count)
+    def clustering_target(self) -> Optional[np.ndarray]:
+        """The sharpened DEC target distribution Q (None before init)."""
+        return self._target
 
     # ------------------------------------------------------------------
     # training loop (vanilla DGAE; the R- version is driven by RethinkTrainer)

@@ -136,6 +136,31 @@ class Tensor:
     def zero_grad(self) -> None:
         self.grad = None
 
+    def release_graph(self) -> None:
+        """Sever the autograd graph rooted at this tensor.
+
+        Every ``_backward`` closure captures its output tensor, so a
+        computation graph is a web of reference cycles that only the
+        *cyclic* garbage collector can reclaim; until it runs, the large
+        intermediate arrays (and their accumulated gradients) of past
+        steps pile up.  Training loops call this after ``optimizer.step()``
+        so each step's graph is freed immediately by reference counting —
+        essential for minibatch loops running many steps per epoch.  Leaf
+        tensors (parameters) have no parents or closure and keep their
+        accumulated ``grad``.
+        """
+        stack: List["Tensor"] = [self]
+        seen = set()
+        while stack:
+            node = stack.pop()
+            if id(node) in seen:
+                continue
+            seen.add(id(node))
+            parents = node._parents
+            node._parents = ()
+            node._backward = None
+            stack.extend(parents)
+
     # ------------------------------------------------------------------
     # graph construction helpers
     # ------------------------------------------------------------------
@@ -175,18 +200,26 @@ class Tensor:
             grad = np.ones_like(self.data)
         grad = np.asarray(grad, dtype=np.float64)
 
+        # Post-order DFS with an explicit stack.  A recursive helper would
+        # both hit the interpreter recursion limit on deep graphs and — being
+        # a self-referencing closure — form a reference cycle that keeps the
+        # whole topo list (the entire graph) alive until the cyclic GC runs.
+        # Parents are pushed in reverse so the traversal (and therefore the
+        # gradient accumulation order) is identical to the recursive form.
         topo: List[Tensor] = []
         visited = set()
-
-        def build(node: "Tensor") -> None:
+        stack: List[Tuple["Tensor", bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                topo.append(node)
+                continue
             if id(node) in visited:
-                return
+                continue
             visited.add(id(node))
-            for parent in node._parents:
-                build(parent)
-            topo.append(node)
-
-        build(self)
+            stack.append((node, True))
+            for parent in reversed(node._parents):
+                stack.append((parent, False))
 
         grads = {id(self): grad}
         for node in reversed(topo):

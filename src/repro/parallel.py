@@ -18,6 +18,10 @@ a serial run:
 * :func:`parallel_map` is the underlying order-preserving pool map used by
   the experiment runner for work units that are not spec-shaped (e.g. the
   shared-pretraining D / R-D pairs of Tables 2, 4 and 17).
+* :func:`load_dataset_cached` is the worker-side dataset memoisation: a
+  per-process LRU keyed by the full dataset spec, so a worker executing
+  many trials of one sweep materialises the graph once
+  (:func:`dataset_cache_info` exposes the per-process counters).
 
 Workers are plain ``concurrent.futures`` processes running this same code
 base; no third-party dependency is involved.
@@ -26,12 +30,91 @@ base; no third-party dependency is involved.
 from __future__ import annotations
 
 import copy
+import json
 import os
+from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
-from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, TypeVar, Union
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple, TypeVar, Union
 
 T = TypeVar("T")
 U = TypeVar("U")
+
+#: environment variable bounding the per-process dataset cache (0 disables).
+DATASET_CACHE_SIZE_ENV = "REPRO_DATASET_CACHE_SIZE"
+DEFAULT_DATASET_CACHE_SIZE = 8
+
+# ----------------------------------------------------------------------
+# worker-side dataset memoisation
+# ----------------------------------------------------------------------
+# Multi-seed fan-outs re-run the same (dataset, seed, options) spec once per
+# model seed, and a pool worker typically executes several of them; building
+# the graph anew each time is a pure constant-factor tax on --jobs N.  This
+# per-process LRU makes each worker load a dataset spec exactly once.  The
+# cached AttributedGraph instances are shared between trials, which is safe
+# because the whole stack treats graphs as immutable (operators copy before
+# editing; robustness sweeps corrupt explicit copies).
+_dataset_cache: "OrderedDict[Tuple[str, int, str], Any]" = OrderedDict()
+_dataset_cache_stats: Dict[str, int] = {"hits": 0, "misses": 0}
+
+
+def dataset_cache_limit() -> int:
+    """Max entries of the per-process dataset cache (env-configurable)."""
+    value = os.environ.get(DATASET_CACHE_SIZE_ENV)
+    if value is None:
+        return DEFAULT_DATASET_CACHE_SIZE
+    limit = int(value)
+    if limit < 0:
+        raise ValueError(f"{DATASET_CACHE_SIZE_ENV} must be >= 0, got {limit}")
+    return limit
+
+
+def load_dataset_cached(
+    name: str, seed: int = 0, options: Optional[Dict[str, Any]] = None
+):
+    """Build a registered dataset, memoised per process and dataset spec.
+
+    The key is the full dataset spec — name, generation seed and options —
+    so distinct specs never alias.  Least-recently-used entries are evicted
+    beyond :func:`dataset_cache_limit` (a limit of 0 disables caching).
+    """
+    from repro.datasets.registry import DATASETS
+
+    limit = dataset_cache_limit()
+    key = (str(name), int(seed), json.dumps(options or {}, sort_keys=True))
+    if limit and key in _dataset_cache:
+        _dataset_cache.move_to_end(key)
+        _dataset_cache_stats["hits"] += 1
+        return _dataset_cache[key]
+    _dataset_cache_stats["misses"] += 1
+    graph = DATASETS[name](int(seed), **(options or {}))
+    if limit:
+        _dataset_cache[key] = graph
+        while len(_dataset_cache) > limit:
+            _dataset_cache.popitem(last=False)
+    return graph
+
+
+def dataset_cache_info() -> Dict[str, int]:
+    """Hit/miss/size counters of *this* process's dataset cache.
+
+    Includes the ``pid`` so results gathered from a pool can be grouped by
+    worker — the per-worker ``misses`` count is how the load-once guarantee
+    is asserted in the test suite.
+    """
+    return {
+        "hits": _dataset_cache_stats["hits"],
+        "misses": _dataset_cache_stats["misses"],
+        "size": len(_dataset_cache),
+        "limit": dataset_cache_limit(),
+        "pid": os.getpid(),
+    }
+
+
+def clear_dataset_cache() -> None:
+    """Drop every cached dataset and reset the counters (tests, reconfigs)."""
+    _dataset_cache.clear()
+    _dataset_cache_stats["hits"] = 0
+    _dataset_cache_stats["misses"] = 0
 
 
 def default_jobs() -> int:

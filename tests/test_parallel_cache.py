@@ -1,0 +1,224 @@
+"""Tests for the worker-side dataset memoisation and the configurable
+sparse-backend promotion thresholds (PR satellites).
+
+The load-once guarantee is asserted two ways: in-process (a counting
+dataset builder registered for the test is called exactly once across
+repeated ``Pipeline.run`` calls) and across a process pool (every worker's
+``dataset_cache`` counters — carried in ``RunResult.extra`` — report exactly
+one miss for the shared dataset spec).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import Pipeline
+from repro.core.rethink import RethinkConfig, RethinkTrainer
+from repro.datasets.registry import DATASETS
+from repro.graph.sparse import (
+    SparseAdjacency,
+    propagation_matrix,
+    resolved_sparse_thresholds,
+    sparse_threshold_overrides,
+)
+from repro.models import build_model
+from repro.parallel import (
+    clear_dataset_cache,
+    dataset_cache_info,
+    load_dataset_cached,
+    run_seeded,
+)
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_dataset_cache()
+    yield
+    clear_dataset_cache()
+
+
+# ----------------------------------------------------------------------
+# dataset cache unit behaviour
+# ----------------------------------------------------------------------
+class TestDatasetCache:
+    def test_second_load_hits(self):
+        first = load_dataset_cached("brazil_air_sim", seed=0)
+        second = load_dataset_cached("brazil_air_sim", seed=0)
+        assert first is second
+        info = dataset_cache_info()
+        assert info["misses"] == 1 and info["hits"] == 1
+
+    def test_distinct_specs_never_alias(self):
+        by_seed0 = load_dataset_cached("brazil_air_sim", seed=0)
+        by_seed1 = load_dataset_cached("brazil_air_sim", seed=1)
+        other = load_dataset_cached("europe_air_sim", seed=0)
+        assert by_seed0 is not by_seed1 and by_seed0 is not other
+        assert dataset_cache_info()["misses"] == 3
+
+    def test_lru_eviction_respects_limit(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DATASET_CACHE_SIZE", "2")
+        load_dataset_cached("brazil_air_sim", seed=0)
+        load_dataset_cached("brazil_air_sim", seed=1)
+        load_dataset_cached("brazil_air_sim", seed=2)  # evicts seed 0
+        assert dataset_cache_info()["size"] == 2
+        load_dataset_cached("brazil_air_sim", seed=0)  # rebuilt
+        assert dataset_cache_info()["misses"] == 4
+
+    def test_zero_limit_disables_caching(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DATASET_CACHE_SIZE", "0")
+        load_dataset_cached("brazil_air_sim", seed=0)
+        load_dataset_cached("brazil_air_sim", seed=0)
+        info = dataset_cache_info()
+        assert info["misses"] == 2 and info["size"] == 0
+
+    def test_builder_called_once_per_process(self):
+        calls = {"count": 0}
+
+        def counting_builder(seed: int = 0):
+            calls["count"] += 1
+            return DATASETS["brazil_air_sim"](seed)
+
+        DATASETS.add("counting_ds_test", counting_builder)
+        try:
+            pipeline = (
+                Pipeline()
+                .dataset("counting_ds_test")
+                .model("gae")
+                .rethink(update_omega_every=2, update_graph_every=2)
+                .training(pretrain_epochs=2, rethink_epochs=2)
+            )
+            pipeline.seed(0).run()
+            pipeline.seed(1).run()
+            pipeline.seed(2).run()
+            assert calls["count"] == 1
+        finally:
+            DATASETS.unregister("counting_ds_test")
+
+
+# ----------------------------------------------------------------------
+# load-once guarantee across a process pool
+# ----------------------------------------------------------------------
+_CACHED_SPEC = {
+    "dataset": "brazil_air_sim",
+    "model": "gae",
+    "variant": "rethink",
+    "seed": 0,
+    "training": {"pretrain_epochs": 2, "rethink_epochs": 2},
+    "rethink": {"overrides": {"update_omega_every": 2, "update_graph_every": 2}},
+}
+
+
+class TestWorkerSideCache:
+    def test_pool_workers_load_dataset_once(self):
+        results = run_seeded(_CACHED_SPEC, [0, 1, 2, 3], jobs=2)
+        by_pid = {}
+        for result in results:
+            info = result.extra["dataset_cache"]
+            by_pid.setdefault(info["pid"], []).append(info)
+        assert len(by_pid) >= 1
+        for pid, infos in by_pid.items():
+            # Workers run one spec over one dataset: exactly one miss each,
+            # however many trials the pool handed to that worker.
+            assert max(info["misses"] for info in infos) == 1, (pid, infos)
+        trials_in_busiest = max(len(infos) for infos in by_pid.values())
+        if trials_in_busiest > 1:
+            busiest = max(by_pid.values(), key=len)
+            assert max(info["hits"] for info in busiest) >= trials_in_busiest - 1
+
+    def test_serial_run_trials_also_memoises(self):
+        results = run_seeded(_CACHED_SPEC, [0, 1, 2], jobs=1)
+        final = results[-1].extra["dataset_cache"]
+        assert final["misses"] == 1 and final["hits"] >= 2
+
+
+# ----------------------------------------------------------------------
+# clean error surfacing across the pool boundary
+# ----------------------------------------------------------------------
+class TestPoolErrorSurfacing:
+    def test_registry_errors_pickle_round_trip(self):
+        """Raised-in-worker errors must survive the pool's pickle round-trip
+        (a failing round-trip turns a clean message into BrokenProcessPool)."""
+        import pickle
+
+        from repro.errors import UnknownEntryError, UnknownVariantError
+
+        error = UnknownEntryError("dataset", "nope", ["a", "b"])
+        restored = pickle.loads(pickle.dumps(error))
+        assert str(restored) == str(error)
+        assert (restored.kind, restored.name, restored.available) == (
+            "dataset",
+            "nope",
+            ["a", "b"],
+        )
+        variant_error = pickle.loads(pickle.dumps(UnknownVariantError("weird")))
+        assert str(variant_error) == str(UnknownVariantError("weird"))
+
+    def test_cli_rejects_non_integer_seed_list(self, tmp_path, capsys):
+        import json
+
+        from repro.api.cli import main
+
+        spec_path = tmp_path / "trial.json"
+        spec_path.write_text(
+            json.dumps({"dataset": "brazil_air_sim", "model": "gae", "seed": ["a"]})
+        )
+        assert main([str(spec_path)]) == 2
+        assert "seed list" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# configurable sparse promotion thresholds
+# ----------------------------------------------------------------------
+class TestSparseThresholds:
+    def test_defaults(self):
+        assert resolved_sparse_thresholds() == (256, 0.25)
+
+    def test_env_vars_override_defaults(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SPARSE_NODE_THRESHOLD", "10")
+        monkeypatch.setenv("REPRO_SPARSE_DENSITY_THRESHOLD", "1.0")
+        assert resolved_sparse_thresholds() == (10, 1.0)
+        dense = np.zeros((20, 20))
+        dense[0, 1] = dense[1, 0] = 1.0
+        assert isinstance(propagation_matrix(dense), SparseAdjacency)
+
+    def test_context_overrides_env_and_restores(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SPARSE_NODE_THRESHOLD", "1000000")
+        with sparse_threshold_overrides(10, 1.0):
+            assert resolved_sparse_thresholds() == (10, 1.0)
+        assert resolved_sparse_thresholds()[0] == 1000000
+
+    def test_rethink_config_forces_sparse_backend(self, tiny_graph):
+        """90 nodes stays dense by default; config thresholds promote it."""
+        model = build_model("gae", tiny_graph.num_features, tiny_graph.num_clusters, seed=0)
+        config = RethinkConfig(
+            epochs=2,
+            pretrain_epochs=1,
+            stop_at_convergence=False,
+            sparse_node_threshold=10,
+            sparse_density_threshold=1.0,
+        )
+        trainer = RethinkTrainer(model, config)
+        trainer.fit(tiny_graph)
+        assert isinstance(trainer.adj_norm_, SparseAdjacency)
+        # and the process-wide default is untouched afterwards
+        assert resolved_sparse_thresholds() == (256, 0.25)
+
+    def test_default_config_keeps_small_graph_dense(self, tiny_graph):
+        model = build_model("gae", tiny_graph.num_features, tiny_graph.num_clusters, seed=0)
+        config = RethinkConfig(epochs=2, pretrain_epochs=1, stop_at_convergence=False)
+        trainer = RethinkTrainer(model, config)
+        trainer.fit(tiny_graph)
+        assert isinstance(trainer.adj_norm_, np.ndarray)
+
+    def test_threshold_spec_roundtrip(self):
+        spec = (
+            Pipeline()
+            .dataset("brazil_air_sim")
+            .model("gae")
+            .rethink(sparse_node_threshold=64, sparse_density_threshold=0.5)
+            .spec()
+        )
+        overrides = Pipeline.from_spec(spec.to_json()).spec().rethink.overrides
+        assert overrides["sparse_node_threshold"] == 64
+        assert overrides["sparse_density_threshold"] == 0.5
