@@ -1,0 +1,154 @@
+"""Warm-start artifact-store benchmark (repro.store).
+
+Measures what the checkpointing subsystem buys and costs:
+
+* **cold vs warm sweep** — a D / R-D ``run_model_pair`` sweep against an
+  empty store (every seed pretrains and populates it) and then the same
+  sweep against the warm store (every seed loads its pretraining snapshot).
+  The warm sweep must report a cache hit for every trial and reproduce the
+  cold sweep's metrics bit for bit — CI fails otherwise.
+* **snapshot save/load latency** — ``Snapshot.capture`` → ``store.put``
+  and ``store.get`` → ``snapshot.apply`` round trips per model, so the
+  fixed cost of a checkpoint is a tracked number rather than folklore.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_store.py            # full sweep
+    PYTHONPATH=src python benchmarks/bench_store.py --smoke    # quick CI run
+    PYTHONPATH=src python benchmarks/bench_store.py --output t.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import sys
+import tempfile
+import time
+from typing import Dict, List
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_model_pair
+from repro.models import build_model
+from repro.parallel import load_dataset_cached
+from repro.store import ArtifactStore, Snapshot, pretrain_cache_key
+
+
+def sweep_wall_time(model: str, dataset: str, config: ExperimentConfig, store_dir: str):
+    """One ``run_model_pair`` sweep: wall time, per-trial cache hits, metrics."""
+    start = time.perf_counter()
+    pair = run_model_pair(model, dataset, config, store_dir=store_dir)
+    seconds = time.perf_counter() - start
+    trials = pair.base_trials + pair.rethink_trials
+    hits = [bool(t.extra.get("pretrain_cache", {}).get("hit")) for t in trials]
+    metrics = [
+        (t.variant, t.seed, t.report.accuracy, t.report.nmi, t.report.ari)
+        for t in trials
+    ]
+    return {"seconds": seconds, "hits": hits, "num_trials": len(trials)}, metrics
+
+
+def snapshot_latency(model_name: str, dataset: str, epochs: int, store_dir: str, repeats: int):
+    """Best-of-``repeats`` save (capture+put) and load (get+apply) times."""
+    graph = load_dataset_cached(dataset, seed=0)
+    model = build_model(model_name, graph.num_features, graph.num_clusters, seed=0)
+    model.pretrain(graph, epochs=epochs)
+    store = ArtifactStore(store_dir)
+    key = pretrain_cache_key(model, epochs, dataset={"name": dataset, "seed": 0, "options": {}})
+    save_best = load_best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        snapshot = Snapshot.capture(model, epoch=epochs, phase="pretrain")
+        store.put(key, snapshot)
+        save_best = min(save_best, time.perf_counter() - start)
+        target = build_model(model_name, graph.num_features, graph.num_clusters, seed=0)
+        start = time.perf_counter()
+        store.get(key).apply(target, restore_rng=True)
+        load_best = min(load_best, time.perf_counter() - start)
+    return {"save_seconds": save_best, "load_seconds": load_best}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true", help="small fast run for CI")
+    parser.add_argument("--dataset", default="cora_sim")
+    parser.add_argument("--models", nargs="*", default=None)
+    parser.add_argument("--trials", type=int, default=None, help="seeds per sweep")
+    parser.add_argument("--pretrain-epochs", type=int, default=None)
+    parser.add_argument("--repeats", type=int, default=None)
+    parser.add_argument("--output", type=str, default=None, help="write timing JSON here")
+    args = parser.parse_args(argv)
+
+    models = args.models or (["gae", "dgae"] if args.smoke else ["gae", "vgae", "dgae", "gmm_vgae"])
+    trials = args.trials if args.trials is not None else (2 if args.smoke else 5)
+    pretrain_epochs = args.pretrain_epochs if args.pretrain_epochs is not None else (
+        6 if args.smoke else 40
+    )
+    repeats = args.repeats if args.repeats is not None else (2 if args.smoke else 5)
+    config = ExperimentConfig(
+        num_trials=trials,
+        pretrain_epochs=pretrain_epochs,
+        clustering_epochs=max(2, pretrain_epochs // 3),
+        rethink_epochs=max(3, pretrain_epochs // 2),
+    )
+
+    report: Dict = {
+        "benchmark": "bench_store",
+        "dataset": args.dataset,
+        "trials": trials,
+        "pretrain_epochs": pretrain_epochs,
+        "results": [],
+    }
+    failures: List[str] = []
+    print(f"{'model':>10} {'cold':>10} {'warm':>10} {'speedup':>8} {'hits':>10}")
+    for model in models:
+        store_dir = tempfile.mkdtemp(prefix="bench-store-")
+        try:
+            cold, cold_metrics = sweep_wall_time(model, args.dataset, config, store_dir)
+            warm, warm_metrics = sweep_wall_time(model, args.dataset, config, store_dir)
+            latency = snapshot_latency(
+                model, args.dataset, pretrain_epochs, store_dir, repeats
+            )
+        finally:
+            shutil.rmtree(store_dir, ignore_errors=True)
+        if any(cold["hits"]):
+            failures.append(f"{model}: cold sweep hit the empty store {cold['hits']}")
+        if not all(warm["hits"]):
+            failures.append(
+                f"{model}: warm sweep did not skip pretraining for every trial "
+                f"(hits: {warm['hits']})"
+            )
+        if warm_metrics != cold_metrics:
+            failures.append(f"{model}: warm sweep metrics differ from the cold sweep")
+        row = {
+            "model": model,
+            "cold": cold,
+            "warm": warm,
+            "speedup": cold["seconds"] / max(warm["seconds"], 1e-12),
+            "snapshot": latency,
+            "metrics_identical": warm_metrics == cold_metrics,
+        }
+        report["results"].append(row)
+        print(
+            f"{model:>10} {cold['seconds']:9.2f}s {warm['seconds']:9.2f}s "
+            f"{row['speedup']:7.2f}x {sum(warm['hits'])}/{warm['num_trials']:>3} "
+            f"(save {latency['save_seconds'] * 1e3:.1f}ms, "
+            f"load {latency['load_seconds'] * 1e3:.1f}ms)"
+        )
+
+    if args.output:
+        with open(args.output, "w") as handle:
+            json.dump(report, handle, indent=2)
+        print(f"wrote {args.output}")
+
+    if failures:
+        print("WARM-START REGRESSION:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

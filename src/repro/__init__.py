@@ -17,6 +17,8 @@ Public API overview
   R-D, and the Feature-Randomness / Feature-Drift diagnostics.
 * :mod:`repro.metrics` — ACC / NMI / ARI evaluation.
 * :mod:`repro.experiments` — runners that regenerate every table and figure.
+* :mod:`repro.store` — versioned checkpointing and the warm-start artifact
+  store (:class:`~repro.store.Snapshot`, :class:`~repro.store.ArtifactStore`).
 
 Quickstart
 ----------
@@ -60,6 +62,8 @@ _LAZY_EXPORTS = {
     "run_trials": ("repro.parallel", "run_trials"),
     "run_seeded": ("repro.parallel", "run_seeded"),
     "parallel_map": ("repro.parallel", "parallel_map"),
+    "ArtifactStore": ("repro.store", "ArtifactStore"),
+    "Snapshot": ("repro.store", "Snapshot"),
 }
 
 __all__ = [
@@ -77,6 +81,8 @@ __all__ = [
     "run_trials",
     "run_seeded",
     "parallel_map",
+    "ArtifactStore",
+    "Snapshot",
 ]
 
 

@@ -7,12 +7,23 @@ Usage::
     repro-run trial.json --print-spec   # echo the normalised spec and exit
     repro-run trial.json --seeds 0 1 2 3 --jobs 4   # multi-seed, pooled
     repro-run trial.json --sampler cluster --batch-size 1024  # minibatch epochs
+    repro-run trial.json --warm-start ./store       # cache/reuse pretraining
+    repro-run trial.json --save-to model.snap       # persist the trained model
+    repro-run --from-checkpoint model.snap          # evaluate it, no training
 
 Multi-seed runs: pass ``--seeds``, or give the spec a JSON list as its
 ``"seed"`` field (``"seed": [0, 1, 2, 3]``).  ``--jobs N`` fans the seeds
 out over ``N`` worker processes (``--jobs auto`` uses every core); the
 per-seed results are bitwise identical to a serial ``--jobs 1`` run, only
 the wall-clock time changes.
+
+Checkpointing (:mod:`repro.store`): ``--warm-start [DIR]`` serves the
+pretraining phase from an artifact store (and populates it on misses) —
+re-running a sweep against a warm store skips every pretraining while the
+metrics stay bitwise identical.  ``--save-to`` snapshots the trained model
+(weights, clustering state, RNG, producing spec) to one file;
+``--from-checkpoint`` rebuilds that model and re-evaluates it on its
+dataset without any training.
 
 The exit status is 0 on success and 2 on a malformed spec, so the command
 composes with shell pipelines and CI jobs.
@@ -35,7 +46,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "spec",
-        help="path to a JSON run spec, or '-' to read the spec from stdin",
+        nargs="?",
+        default=None,
+        help="path to a JSON run spec, or '-' to read the spec from stdin "
+        "(not needed with --from-checkpoint)",
     )
     parser.add_argument(
         "--print-spec",
@@ -61,6 +75,33 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="worker processes for multi-seed runs (an int, or 'auto' for "
         "every core); results are identical to --jobs 1",
+    )
+    store = parser.add_argument_group(
+        "checkpointing & warm starts",
+        "persist trained models and cache the shared pretraining phase "
+        "(repro.store)",
+    )
+    store.add_argument(
+        "--warm-start",
+        nargs="?",
+        const=True,
+        default=None,
+        metavar="DIR",
+        help="serve/populate pretraining snapshots from an artifact store "
+        "(default directory: $REPRO_STORE_DIR or .repro-store)",
+    )
+    store.add_argument(
+        "--save-to",
+        default=None,
+        metavar="PATH",
+        help="save the trained model as a snapshot file (single-seed runs only)",
+    )
+    store.add_argument(
+        "--from-checkpoint",
+        default=None,
+        metavar="PATH",
+        help="skip training: load a snapshot saved with --save-to and "
+        "re-evaluate it on its spec's dataset",
     )
     minibatch = parser.add_argument_group(
         "minibatch training",
@@ -160,10 +201,86 @@ def _load_spec_document(text: str):
     return data, seeds
 
 
+def _resolve_warm_start(value):
+    """Map the --warm-start flag to a store root (None = flag absent)."""
+    if value is None:
+        return None
+    if value is True:
+        import os
+
+        from repro.store import DEFAULT_STORE_DIR, STORE_DIR_ENV
+
+        return os.environ.get(STORE_DIR_ENV) or DEFAULT_STORE_DIR
+    return str(value)
+
+
+def _run_from_checkpoint(args) -> int:
+    """--from-checkpoint: rebuild a saved model and re-evaluate it."""
+    from repro.api.pipeline import Pipeline
+    from repro.metrics.report import evaluate_clustering
+    from repro.parallel import load_dataset_cached
+
+    result = Pipeline.load(args.from_checkpoint)
+    spec = result.spec
+    print(
+        f"repro-run: {spec.describe()} from checkpoint {args.from_checkpoint} "
+        f"(phase {result.extra.get('phase')}, epoch {result.extra.get('epoch')})",
+        file=sys.stderr,
+    )
+    graph = load_dataset_cached(
+        spec.dataset.name, seed=spec.dataset.seed, options=spec.dataset.options
+    )
+    embeddings = result.model.embed(graph)
+    report = None
+    if graph.labels is not None and result.model.cluster_centers_ is not None:
+        assignments = result.model.predict_assignments(embeddings)
+        import numpy as np
+
+        report = evaluate_clustering(graph.labels, np.argmax(assignments, axis=1))
+        result.report = report
+    if args.json:
+        payload = {"seed": spec.seed, **result.summary()}
+        payload["loaded_from"] = args.from_checkpoint
+        print(json.dumps(payload, indent=2))
+    else:
+        described = spec.describe()
+        if report is not None:
+            print(f"{described}: {report}")
+        else:
+            print(f"{described}: no clustering state in checkpoint (embeddings only)")
+    return 0
+
+
+def _print_pretrain_cache(result) -> None:
+    stats = result.extra.get("pretrain_cache") or {}
+    if stats.get("enabled"):
+        outcome = "hit" if stats.get("hit") else "miss"
+        print(f"pretrain cache: {outcome} ({stats.get('store')})")
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     from repro.api.pipeline import Pipeline
 
     args = build_parser().parse_args(argv)
+    if args.from_checkpoint is not None:
+        if args.spec is not None or args.seeds is not None or args.save_to:
+            print(
+                "repro-run: --from-checkpoint replaces training; it cannot be "
+                "combined with a spec, --seeds or --save-to",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            return _run_from_checkpoint(args)
+        except (OSError, ReproError) as error:
+            print(f"repro-run: {error}", file=sys.stderr)
+            return 2
+    if args.spec is None:
+        print(
+            "repro-run: a spec path is required (or --from-checkpoint)",
+            file=sys.stderr,
+        )
+        return 2
     try:
         jobs = _parse_jobs(args.jobs)
         if args.spec == "-":
@@ -189,23 +306,36 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.save_to and multi_seed:
+        print(
+            "repro-run: --save-to needs a single-seed run (pooled trials "
+            "drop their models)",
+            file=sys.stderr,
+        )
+        return 2
 
     if args.print_spec:
         print(spec.to_json())
         return 0
 
     try:
-        if seeds is None:
-            print(f"repro-run: {spec.describe()}", file=sys.stderr)
-            results = [pipeline.run()]
-            seeds = [spec.seed]
-        else:
-            print(
-                f"repro-run: {spec.describe()} over seeds {seeds} "
-                f"(jobs={jobs})",
-                file=sys.stderr,
-            )
-            results = pipeline.run_trials(seeds, jobs=jobs)
+        from repro.store import store_env
+
+        with store_env(_resolve_warm_start(args.warm_start)):
+            if seeds is None:
+                print(f"repro-run: {spec.describe()}", file=sys.stderr)
+                results = [pipeline.run()]
+                seeds = [spec.seed]
+            else:
+                print(
+                    f"repro-run: {spec.describe()} over seeds {seeds} "
+                    f"(jobs={jobs})",
+                    file=sys.stderr,
+                )
+                results = pipeline.run_trials(seeds, jobs=jobs)
+        if args.save_to:
+            saved = Pipeline.save(results[0], args.save_to)
+            print(f"repro-run: saved snapshot to {saved}", file=sys.stderr)
     except ReproError as error:
         # Unknown dataset / model / callback names only surface when the
         # registries are consulted at run time; report them like any other
@@ -214,9 +344,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 2
 
     if args.json:
-        summaries = [
-            {"seed": seed, **result.summary()} for seed, result in zip(seeds, results)
-        ]
+        summaries = []
+        for seed, result in zip(seeds, results):
+            summary = {"seed": seed, **result.summary()}
+            cache = result.extra.get("pretrain_cache")
+            if cache is not None and cache.get("enabled"):
+                summary["pretrain_cache"] = cache
+            summaries.append(summary)
         # Multi-seed mode always emits an array (even for one seed) so
         # consumers parse one shape; a plain run keeps the historical object.
         print(json.dumps(summaries if multi_seed else summaries[0], indent=2))
@@ -230,6 +364,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                     f"epochs run: {result.history.epochs_run} "
                     f"(converged: {result.history.converged})"
                 )
+            _print_pretrain_cache(result)
     return 0
 
 

@@ -62,6 +62,32 @@ class RunResult:
     def variant(self) -> str:
         return self.spec.variant
 
+    def save(self, path: str) -> str:
+        """Persist the trained model as a :class:`repro.store.Snapshot` file.
+
+        The snapshot carries the producing spec and a metric summary, so
+        :meth:`Pipeline.load` can rebuild and serve the model without
+        touching the training path.  Only results from :meth:`Pipeline.run`
+        can be saved — pooled ``run_trials`` results drop their models.
+        """
+        from repro.errors import StoreError
+        from repro.store import Snapshot
+
+        if self.model is None:
+            raise StoreError(
+                "this RunResult holds no model (pooled run_trials results "
+                "drop them); run the trial with Pipeline.run() to save it"
+            )
+        epoch = self.history.epochs_run if self.history is not None else 0
+        snapshot = Snapshot.capture(
+            self.model,
+            spec=self.spec.to_dict(),
+            epoch=epoch,
+            phase="trained",
+            metadata={"summary": self.summary(), "store_key": self.spec.store_key()},
+        )
+        return snapshot.save(path)
+
     def summary(self) -> Dict[str, float]:
         """Flat metric summary (ACC/NMI/ARI plus runtime)."""
         out: Dict[str, float] = {"runtime_seconds": self.runtime_seconds}
@@ -87,7 +113,11 @@ class Pipeline:
         self._callback_objects: List[Any] = []
         self._tags: Dict[str, str] = {}
         self._graph = None  # explicit AttributedGraph, bypasses the registry
-        self._pretrained_state: Optional[Dict[str, Any]] = None
+        #: a raw state dict, repro.store.Snapshot, or artifact-store key.
+        self._pretrained_state: Optional[Any] = None
+        #: warm-start setting: None = follow REPRO_STORE_DIR, False = off,
+        #: True = default store, str = store root, ArtifactStore = use as-is.
+        self._warm_start: Optional[Any] = None
 
     def _clone(self) -> "Pipeline":
         clone = copy.copy(self)
@@ -206,15 +236,40 @@ class Pipeline:
         clone._tags.update({key: str(value) for key, value in tags.items()})
         return clone
 
-    def pretrained_state(self, state: Dict[str, Any]) -> "Pipeline":
+    def pretrained_state(self, state: Any) -> "Pipeline":
         """Start from a pretraining snapshot instead of pretraining afresh.
 
         This is how the paper's fairness protocol ("D and R-D share the
         same pretraining weights") is expressed with pipelines: pretrain
         once, then hand the same state to a base and a rethink pipeline.
+
+        Accepts a raw ``state_dict`` mapping, a
+        :class:`repro.store.Snapshot`, or an artifact-store key string
+        (resolved against the pipeline's store — see :meth:`warm_start` /
+        ``REPRO_STORE_DIR``).  Whatever the form, the state is validated
+        against the pipeline's model as soon as :meth:`run` builds it, so a
+        mismatched checkpoint fails before any training happens.  Snapshots
+        restore weights and clustering extras but keep the model's freshly
+        seeded RNG, exactly like the raw-dict handoff.
         """
         clone = self._clone()
         clone._pretrained_state = state
+        return clone
+
+    def warm_start(self, store: Any = True) -> "Pipeline":
+        """Serve (and populate) pretraining from an artifact store.
+
+        ``store`` is ``True`` for the default store (``REPRO_STORE_DIR`` or
+        ``.repro-store``), a directory path, an
+        :class:`repro.store.ArtifactStore` instance, or ``False`` to force
+        cold pretraining even when ``REPRO_STORE_DIR`` is set.  On a warm
+        store the run skips pretraining entirely and restores the exact
+        post-pretraining state (RNG included), so its metrics are bitwise
+        identical to a cold run's; cache statistics land in
+        ``RunResult.extra['pretrain_cache']``.
+        """
+        clone = self._clone()
+        clone._warm_start = store
         return clone
 
     # ------------------------------------------------------------------
@@ -272,6 +327,57 @@ class Pipeline:
             spec.dataset.name, spec.dataset.seed, spec.dataset.options
         )
 
+    # ------------------------------------------------------------------
+    # artifact-store helpers
+    # ------------------------------------------------------------------
+    def _resolve_store(self):
+        """The ArtifactStore this pipeline should use, or ``None`` (cold)."""
+        from repro.store import ArtifactStore, active_store
+
+        setting = self._warm_start
+        if setting is None:
+            return active_store()
+        if setting is False:
+            return None
+        if setting is True:
+            return ArtifactStore()
+        if isinstance(setting, ArtifactStore):
+            return setting
+        return ArtifactStore(str(setting))
+
+    def _apply_pretrained_state(self, model) -> Optional[Dict[str, Any]]:
+        """Validate and load ``pretrained_state`` before training starts.
+
+        Returns cache stats when the state came through the store machinery
+        (key / Snapshot), ``None`` for the legacy raw-dict handoff.
+        """
+        from repro.errors import StoreError
+        from repro.store import Snapshot
+
+        state = self._pretrained_state
+        source = "pretrained_state"
+        key = None
+        if isinstance(state, str):
+            store = self._resolve_store()
+            if store is None:
+                raise StoreError(
+                    f"pretrained_state was given store key {state[:16]!r}… but "
+                    "no artifact store is configured; set REPRO_STORE_DIR or "
+                    "call .warm_start(<dir>)"
+                )
+            key = state
+            state = store.get(state)  # raises ArtifactNotFoundError on a miss
+        if isinstance(state, Snapshot):
+            # Fail fast: class/shape validation happens here, before any
+            # epoch runs.  restore_rng=False keeps the fairness protocol's
+            # freshly seeded generator (matching the raw-dict handoff).
+            state.apply(model, restore_rng=False)
+            return {"enabled": True, "hit": True, "key": key, "source": source}
+        # Raw dict: load_state_dict rejects missing/unexpected/misshaped
+        # parameters, which is the same fail-fast point.
+        model.load_state_dict(state)
+        return None
+
     def run(self) -> RunResult:
         """Execute the trial end-to-end and return its :class:`RunResult`."""
         from repro.api.callbacks import resolve_callbacks
@@ -311,12 +417,29 @@ class Pipeline:
             config.sparse_node_threshold if config is not None else None,
             config.sparse_density_threshold if config is not None else None,
         ):
+            from repro.store import disabled_stats, warm_pretrain
+
             if self._pretrained_state is not None:
-                model.load_state_dict(self._pretrained_state)
+                pretrain_stats = self._apply_pretrained_state(model) or disabled_stats()
             else:
-                model.pretrain(
+                # Keyed like load_dataset_cached: registry trials by their
+                # dataset spec, explicit graphs by content fingerprint.  The
+                # sparse thresholds join the key because they change the
+                # pretraining numerics; the variant deliberately does not,
+                # so a D / R-D pair shares one snapshot.
+                pretrain_stats = warm_pretrain(
+                    model,
                     graph,
-                    epochs=spec.training.pretrain_epochs,
+                    spec.training.pretrain_epochs,
+                    store=self._resolve_store(),
+                    dataset=None if self._graph is not None else spec.dataset.to_dict(),
+                    config={
+                        "sparse": [
+                            config.sparse_node_threshold if config is not None else None,
+                            config.sparse_density_threshold if config is not None else None,
+                        ]
+                    },
+                    spec=spec.to_dict(),
                     verbose=config.verbose if config is not None else False,
                 )
 
@@ -342,7 +465,10 @@ class Pipeline:
             runtime_seconds=runtime,
             history=history,
             model=model,
-            extra={"dataset_cache": dataset_cache_info()},
+            extra={
+                "dataset_cache": dataset_cache_info(),
+                "pretrain_cache": pretrain_stats,
+            },
         )
 
     def run_trials(self, seeds, jobs=None) -> List[RunResult]:
@@ -353,6 +479,10 @@ class Pipeline:
         trial re-derives all randomness from its spec inside its worker.
         Unlike :meth:`run`, the trained models are not returned — they hold
         autograd closures that cannot cross process boundaries.
+
+        A :meth:`warm_start` store propagates to the workers (via
+        ``REPRO_STORE_DIR``), so repeated sweeps skip re-pretraining: the
+        first run per seed populates the store, every later run hits it.
 
         Requires a registry dataset and declarative callbacks: an explicit
         :meth:`graph` or live callback objects cannot be shipped to worker
@@ -373,6 +503,73 @@ class Pipeline:
         if self._pretrained_state is not None:
             raise SpecError(
                 "run_trials re-runs pretraining per seed; pretrained_state "
-                "snapshots are not supported"
+                "snapshots are not supported (use .warm_start() to share "
+                "pretraining through the artifact store instead)"
             )
-        return run_seeded(self.spec(), seeds, jobs=jobs)
+        store = self._resolve_store()
+        return run_seeded(
+            self.spec(), seeds, jobs=jobs,
+            store_dir=None if store is None else store.root,
+        )
+
+    # ------------------------------------------------------------------
+    # artifact round-trip
+    # ------------------------------------------------------------------
+    @staticmethod
+    def save(result: RunResult, path: str) -> str:
+        """Persist a trained :class:`RunResult` as a snapshot file.
+
+        Equivalent to ``result.save(path)``; see :meth:`RunResult.save`.
+        """
+        return result.save(path)
+
+    @classmethod
+    def load(cls, path: str) -> RunResult:
+        """Rebuild a trained model from a snapshot file, without training.
+
+        The snapshot's embedded spec and model configuration are enough to
+        reconstruct the model — the dataset is *not* loaded, which is what
+        lets a serving layer answer embed/predict requests from frozen
+        artifacts.  The returned :class:`RunResult` carries the restored
+        model and the original spec; ``report`` is ``None`` until the
+        caller evaluates on a graph.
+        """
+        from repro.errors import StoreError
+        from repro.models.registry import build_model
+        from repro.store import Snapshot
+
+        snapshot = Snapshot.load(path)
+        if snapshot.spec is None:
+            raise StoreError(
+                f"snapshot {path!r} carries no RunSpec; only artifacts saved "
+                "through Pipeline.save / RunResult.save can be loaded here"
+            )
+        spec = RunSpec.from_dict(snapshot.spec)
+        num_features = snapshot.config.get("num_features")
+        num_clusters = snapshot.config.get("num_clusters")
+        if num_features is None or num_clusters is None:
+            raise StoreError(
+                f"snapshot {path!r} does not record the model dimensions "
+                "(num_features / num_clusters)"
+            )
+        model = build_model(
+            spec.model.name,
+            int(num_features),
+            int(num_clusters),
+            seed=spec.seed,
+            **spec.model.options,
+        )
+        snapshot.apply(model, restore_rng=True)
+        return RunResult(
+            spec=spec,
+            report=None,
+            runtime_seconds=0.0,
+            history=None,
+            model=model,
+            extra={
+                "loaded_from": path,
+                "phase": snapshot.phase,
+                "epoch": snapshot.epoch,
+                "summary": snapshot.metadata.get("summary"),
+            },
+        )

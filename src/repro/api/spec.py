@@ -230,6 +230,18 @@ class RunSpec:
         """A copy with the given top-level fields replaced."""
         return replace(self, **changes)
 
+    def store_key(self) -> str:
+        """Stable artifact-store key of this trial.
+
+        A SHA-256 over the canonical JSON form of the complete spec —
+        dataset, model, variant, seed, budgets, overrides — so the same
+        trial always maps to the same :class:`repro.store.ArtifactStore`
+        entry, independent of dict ordering or process restarts.
+        """
+        from repro.store.keys import run_key
+
+        return run_key(self.to_dict())
+
     def describe(self) -> str:
         """One-line human-readable summary of the trial."""
         prefix = "R-" if self.variant == "rethink" else ""

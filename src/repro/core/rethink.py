@@ -260,6 +260,8 @@ class RethinkTrainer:
         self.adj_norm_: Optional[np.ndarray] = None
         #: set by callbacks (e.g. ConvergenceStopping) to end training early.
         self.stop_training: bool = False
+        #: pretraining-cache stats of the last fit (repro.store.warm_pretrain).
+        self.pretrain_cache_: Optional[dict] = None
 
     # ------------------------------------------------------------------
     # operator applications
@@ -336,12 +338,36 @@ class RethinkTrainer:
                 return self._fit_full_graph(graph, pretrained)
             return self._fit_minibatch(graph, pretrained)
 
+    def _run_pretraining(self, graph: AttributedGraph) -> None:
+        """Pretrain via the warm-start store when one is active.
+
+        Direct trainer users get the same caching as pipelines: with
+        ``REPRO_STORE_DIR`` set the pretraining snapshot is served from (or
+        written to) the artifact store, keyed by a content fingerprint of
+        the graph; without it this is exactly ``model.pretrain``.  The
+        hit/miss stats land on :attr:`pretrain_cache_`.
+        """
+        from repro.store import warm_pretrain
+
+        self.pretrain_cache_ = warm_pretrain(
+            self.model,
+            graph,
+            self.config.pretrain_epochs,
+            config={
+                "sparse": [
+                    self.config.sparse_node_threshold,
+                    self.config.sparse_density_threshold,
+                ]
+            },
+            verbose=self.config.verbose,
+        )
+
     def _fit_full_graph(self, graph: AttributedGraph, pretrained: bool) -> RethinkHistory:
         """The legacy loop: one forward/backward over the whole adjacency."""
         config = self.config
         model = self.model
         if not pretrained:
-            model.pretrain(graph, epochs=config.pretrain_epochs, verbose=config.verbose)
+            self._run_pretraining(graph)
         features, adj_norm = model.prepare_inputs(graph)
         self.features_, self.adj_norm_ = features, adj_norm
         embeddings = model.embed(graph)
@@ -467,7 +493,7 @@ class RethinkTrainer:
         config = self.config
         model = self.model
         if not pretrained:
-            model.pretrain(graph, epochs=config.pretrain_epochs, verbose=config.verbose)
+            self._run_pretraining(graph)
         features, adj_norm = model.prepare_inputs(graph)
         self.features_, self.adj_norm_ = features, adj_norm
         embeddings = model.embed(graph)

@@ -60,3 +60,33 @@ class UnknownVariantError(ReproError, ValueError):
 
 class SpecError(ReproError, ValueError):
     """A run specification is malformed or cannot be deserialised."""
+
+
+class StoreError(ReproError):
+    """Base class of every :mod:`repro.store` error."""
+
+
+class SnapshotSchemaError(StoreError):
+    """A snapshot file is not a snapshot, or its schema version is unsupported."""
+
+
+class SnapshotMismatchError(StoreError, ValueError):
+    """A snapshot does not fit the model (or optimizer) it is applied to."""
+
+
+class ArtifactNotFoundError(StoreError, KeyError):
+    """An artifact-store lookup failed: no snapshot stored under the key."""
+
+    def __init__(self, key: str, root: str) -> None:
+        self.key = key
+        self.root = root
+        super().__init__(f"no artifact stored under key {key!r} in {root!r}")
+
+    def __str__(self) -> str:  # KeyError.__str__ would repr() the message
+        return self.args[0]
+
+    def __reduce__(self):
+        # Exception.__reduce__ would replay __init__ with self.args (the
+        # formatted message alone); spell out the real constructor arguments
+        # so pool workers can pickle the error back to the parent.
+        return (type(self), (self.key, self.root))

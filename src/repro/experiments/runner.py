@@ -148,13 +148,56 @@ def run_rethink_model(
     return TrialResult.from_run_result(pipeline.run())
 
 
+def _shared_pretrain_state(model_name, dataset_name, graph, config, seed):
+    """The fairness-protocol pretraining snapshot, warm-started when possible.
+
+    With an active artifact store (``REPRO_STORE_DIR``) the shared
+    pretraining of a (model, dataset, seed) cell is computed once ever: the
+    key excludes the variant, so the D and R-D trials — and every later
+    sweep over the same cell — reuse one stored snapshot.  Without a store
+    this matches the historical behaviour (pretrain in-process, hand the
+    state to both trials).  Either way the trial models keep their own
+    freshly seeded RNG streams, so warm results are bitwise identical to
+    cold ones.
+    """
+    from repro.store import Snapshot, active_store, pretrain_cache_key
+
+    store = active_store()
+    pretrain_model = build_model(
+        model_name, graph.num_features, graph.num_clusters, seed=seed
+    )
+    if store is None:
+        pretrain_model.pretrain(graph, epochs=config.pretrain_epochs)
+        return pretrain_model.state_dict(), {
+            "enabled": False, "hit": False, "key": None, "store": None,
+        }
+    key = pretrain_cache_key(
+        pretrain_model,
+        config.pretrain_epochs,
+        dataset={"name": dataset_name, "seed": config.base_seed, "options": {}},
+    )
+    snapshot = store.get(key, default=None)
+    hit = snapshot is not None
+    if not hit:
+        pretrain_model.pretrain(graph, epochs=config.pretrain_epochs)
+        snapshot = Snapshot.capture(
+            pretrain_model,
+            epoch=config.pretrain_epochs,
+            phase="pretrain",
+            metadata={"model": model_name, "dataset": dataset_name, "seed": seed},
+        )
+        store.put(key, snapshot)
+    stats = {"enabled": True, "hit": hit, "key": key, "store": store.root}
+    return snapshot, stats
+
+
 def _run_pair_seed(task) -> tuple:
     """One seed's (base, rethink) pair with shared pretraining.
 
     Module-level so :func:`repro.parallel.parallel_map` can ship it to pool
     workers; everything it needs (names, the frozen config, the seed) is
     picklable, and the graph / pretraining snapshot are rebuilt inside the
-    worker from those seeds.
+    worker from those seeds (or served from the warm-start store).
     """
     model_name, dataset_name, config, rethink_overrides, seed = task
     from repro.parallel import load_dataset_cached
@@ -163,11 +206,9 @@ def _run_pair_seed(task) -> tuple:
     # sweep builds the (shared, immutable) graph once.
     graph = load_dataset_cached(dataset_name, seed=config.base_seed)
     # Shared pretraining snapshot for fairness.
-    pretrain_model = build_model(
-        model_name, graph.num_features, graph.num_clusters, seed=seed
+    state, pretrain_stats = _shared_pretrain_state(
+        model_name, dataset_name, graph, config, seed
     )
-    pretrain_model.pretrain(graph, epochs=config.pretrain_epochs)
-    state = pretrain_model.state_dict()
     base = run_baseline_model(model_name, graph, config, seed, pretrained_state=state)
     rethink = run_rethink_model(
         model_name,
@@ -177,6 +218,8 @@ def _run_pair_seed(task) -> tuple:
         pretrained_state=state,
         rethink_overrides=rethink_overrides,
     )
+    base.extra["pretrain_cache"] = dict(pretrain_stats)
+    rethink.extra["pretrain_cache"] = dict(pretrain_stats)
     return base, rethink
 
 
@@ -186,14 +229,21 @@ def run_model_pair(
     config: Optional[ExperimentConfig] = None,
     rethink_overrides: Optional[Dict] = None,
     jobs=None,
+    store_dir: Optional[str] = None,
 ) -> PairResult:
     """Run D and R-D over ``config.num_trials`` seeds with shared pretraining.
 
     ``jobs`` fans the seeds out over a process pool (``None``/1 serial, an
     int, or ``"auto"``); each seed is an independent, fully seeded work
     unit, so the aggregated tables are identical for any ``jobs`` value.
+    ``store_dir`` points the sweep at a warm-start artifact store: the
+    shared per-seed pretraining is then served from the store when present
+    (and written to it otherwise), so re-running the sweep skips every
+    pretraining phase while producing bitwise-identical tables.  The
+    per-trial hit/miss record lands in ``TrialResult.extra['pretrain_cache']``.
     """
     from repro.parallel import parallel_map
+    from repro.store import store_env
 
     config = config or ExperimentConfig()
     tasks = [
@@ -206,7 +256,8 @@ def run_model_pair(
         )
         for trial in range(config.num_trials)
     ]
-    outcomes = parallel_map(_run_pair_seed, tasks, jobs=jobs)
+    with store_env(store_dir):
+        outcomes = parallel_map(_run_pair_seed, tasks, jobs=jobs)
     pair = PairResult(model=model_name, dataset=dataset_name)
     for base, rethink in outcomes:
         pair.base_trials.append(base)

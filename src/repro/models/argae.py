@@ -97,6 +97,23 @@ class ARGAE(GAEClusteringModel):
         d_loss.backward()
         self._discriminator_optimizer.step()
 
+    # ------------------------------------------------------------------
+    # checkpointing (repro.store)
+    # ------------------------------------------------------------------
+    def extra_state(self):
+        state = super().extra_state()
+        # The discriminator's weights live in state_dict (it is a plain
+        # sub-module); its Adam moments are the extra piece a bitwise resume
+        # of adversarial pretraining needs.
+        state["discriminator_optimizer"] = self._discriminator_optimizer.state_dict()
+        return state
+
+    def load_extra_state(self, state, restore_rng: bool = True) -> None:
+        super().load_extra_state(state, restore_rng=restore_rng)
+        optimizer_state = state.get("discriminator_optimizer")
+        if optimizer_state is not None:
+            self._discriminator_optimizer.load_state_dict(optimizer_state)
+
     def parameters(self):
         """Exclude discriminator parameters from the encoder optimiser.
 

@@ -174,6 +174,66 @@ class GAEClusteringModel(Module):
             )
 
     # ------------------------------------------------------------------
+    # checkpointing hooks (see repro.store)
+    # ------------------------------------------------------------------
+    def config_signature(self) -> Dict[str, object]:
+        """Stable scalar description of the model's construction.
+
+        Collects the class name plus every public scalar attribute
+        (constructor hyper-parameters such as widths, learning rate, gamma,
+        seed, model-specific knobs).  :mod:`repro.store` hashes this into
+        snapshot keys and embeds it in snapshots so a checkpoint can be
+        validated against — and rebuilt for — the model that produced it.
+        """
+        signature: Dict[str, object] = {"class": type(self).__name__}
+        for key in sorted(self.__dict__):
+            if key.startswith("_") or key == "training":
+                continue
+            value = self.__dict__[key]
+            if isinstance(value, (bool, int, float, str)):
+                signature[key] = value
+        return signature
+
+    def extra_state(self) -> Dict[str, object]:
+        """Non-parameter state a snapshot must carry beyond :meth:`state_dict`.
+
+        The base capture covers the cached cluster moments and the model's
+        RNG state (restoring it makes a resumed run consume the exact noise
+        stream of an uninterrupted one).  ``trainable_extras`` lists
+        parameter names that only exist after clustering initialisation
+        (e.g. DGAE's trainable centres): :class:`repro.store.Snapshot` uses
+        it to validate checkpoints against freshly built models.
+        """
+        import copy as _copy
+
+        def _opt(array):
+            return None if array is None else np.array(array, copy=True)
+
+        return {
+            "trainable_extras": [],
+            "cluster_centers": _opt(self.cluster_centers_),
+            "cluster_variances": _opt(self.cluster_variances_),
+            "rng": _copy.deepcopy(self.rng.bit_generator.state),
+        }
+
+    def load_extra_state(self, state: Dict[str, object], restore_rng: bool = True) -> None:
+        """Inverse of :meth:`extra_state`.
+
+        ``restore_rng=False`` keeps the model's own RNG stream — that is the
+        paper's fairness protocol, where D and R-D both continue from shared
+        pretraining weights with their freshly seeded generators.
+        """
+        import copy as _copy
+
+        def _opt(value):
+            return None if value is None else np.array(value, copy=True)
+
+        self.cluster_centers_ = _opt(state.get("cluster_centers"))
+        self.cluster_variances_ = _opt(state.get("cluster_variances"))
+        if restore_rng and state.get("rng") is not None:
+            self.rng.bit_generator.state = _copy.deepcopy(state["rng"])
+
+    # ------------------------------------------------------------------
     # graph preparation
     # ------------------------------------------------------------------
     @staticmethod

@@ -85,6 +85,28 @@ class DGAE(GAEClusteringModel):
         return soft_assignment_student_t(embeddings, self.centers.numpy())
 
     # ------------------------------------------------------------------
+    # checkpointing (repro.store)
+    # ------------------------------------------------------------------
+    def extra_state(self):
+        state = super().extra_state()
+        if self.centers is not None:
+            # The trainable centres are a parameter that only exists after
+            # init_clustering; declare them so snapshot validation accepts
+            # trained checkpoints applied to freshly built models.
+            state["trainable_extras"] = ["centers"]
+        state["target"] = None if self._target is None else self._target.copy()
+        return state
+
+    def load_extra_state(self, state, restore_rng: bool = True) -> None:
+        super().load_extra_state(state, restore_rng=restore_rng)
+        if "centers" in state.get("trainable_extras", []) and self.cluster_centers_ is not None:
+            # Materialise the trainable tensor; load_state_dict fills its
+            # values from the snapshot's parameter entry right after.
+            self.centers = Tensor(self.cluster_centers_.copy(), requires_grad=True)
+        target = state.get("target")
+        self._target = None if target is None else np.array(target, copy=True)
+
+    # ------------------------------------------------------------------
     # losses
     # ------------------------------------------------------------------
     def soft_assignment_tensor(self, z: Tensor) -> Tensor:

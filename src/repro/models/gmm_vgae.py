@@ -99,6 +99,45 @@ class GMMVGAE(GAEClusteringModel):
         )
 
     # ------------------------------------------------------------------
+    # checkpointing (repro.store)
+    # ------------------------------------------------------------------
+    def extra_state(self):
+        state = super().extra_state()
+        mixture = self._mixture
+        state["mixture"] = None if mixture is None else {
+            "num_components": mixture.num_components,
+            "max_iter": mixture.max_iter,
+            "tol": mixture.tol,
+            "reg_covar": mixture.reg_covar,
+            "seed": mixture.seed,
+            "means": mixture.means_.copy(),
+            "variances": mixture.variances_.copy(),
+            "weights": mixture.weights_.copy(),
+        }
+        state["target"] = None if self._target is None else self._target.copy()
+        return state
+
+    def load_extra_state(self, state, restore_rng: bool = True) -> None:
+        super().load_extra_state(state, restore_rng=restore_rng)
+        mixture_state = state.get("mixture")
+        if mixture_state is None:
+            self._mixture = None
+        else:
+            mixture = GaussianMixture(
+                mixture_state["num_components"],
+                max_iter=mixture_state["max_iter"],
+                tol=mixture_state["tol"],
+                reg_covar=mixture_state["reg_covar"],
+                seed=mixture_state["seed"],
+            )
+            mixture.means_ = np.array(mixture_state["means"], copy=True)
+            mixture.variances_ = np.array(mixture_state["variances"], copy=True)
+            mixture.weights_ = np.array(mixture_state["weights"], copy=True)
+            self._mixture = mixture
+        target = state.get("target")
+        self._target = None if target is None else np.array(target, copy=True)
+
+    # ------------------------------------------------------------------
     # losses
     # ------------------------------------------------------------------
     def soft_assignment_tensor(self, z: Tensor) -> Tensor:

@@ -53,13 +53,21 @@ class Module:
                 self._collect_from_value(item, found, seen)
 
     def named_parameters(self) -> Dict[str, Tensor]:
-        """Return a flat ``{attribute_path: tensor}`` mapping."""
+        """Return a flat ``{attribute_path: tensor}`` mapping.
+
+        Underscore-prefixed attributes are private caches (e.g. a model's
+        ``_last_mu`` posterior kept from the previous forward pass), not
+        parameters — they are excluded so ``state_dict`` round-trips stay
+        stable whether or not the module has run a forward yet.
+        """
         named: Dict[str, Tensor] = {}
         self._collect_named(named, prefix="")
         return named
 
     def _collect_named(self, named: Dict[str, Tensor], prefix: str) -> None:
         for key, value in self.__dict__.items():
+            if key.startswith("_"):
+                continue
             path = f"{prefix}{key}"
             if isinstance(value, Tensor) and value.requires_grad:
                 named[path] = value
@@ -104,11 +112,22 @@ class Module:
         return {name: param.data.copy() for name, param in self.named_parameters().items()}
 
     def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
-        """Load values produced by :meth:`state_dict`."""
+        """Load values produced by :meth:`state_dict`.
+
+        The state must match the module exactly: both missing and unexpected
+        keys are rejected so a stale or mismatched checkpoint fails loudly
+        instead of silently loading a subset of its weights.
+        """
         named = self.named_parameters()
         missing = set(named) - set(state)
         if missing:
             raise KeyError(f"state dict is missing parameters: {sorted(missing)}")
+        unexpected = set(state) - set(named)
+        if unexpected:
+            raise KeyError(
+                f"state dict has unexpected parameters: {sorted(unexpected)} "
+                f"(module holds: {sorted(named)})"
+            )
         for name, param in named.items():
             value = np.asarray(state[name], dtype=np.float64)
             if value.shape != param.data.shape:

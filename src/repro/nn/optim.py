@@ -6,7 +6,7 @@ use Adam with learning rate 0.01; SGD is provided for ablations and tests.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional
+from typing import Any, Dict, Iterable, List, Optional
 
 import numpy as np
 
@@ -27,6 +27,52 @@ class Optimizer:
 
     def step(self) -> None:  # pragma: no cover - abstract
         raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # checkpointing
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, Any]:
+        """Serializable optimizer state (hyper-parameters plus buffers).
+
+        Loading the result with :meth:`load_state_dict` into an optimizer
+        over the same parameters makes subsequent steps bitwise identical
+        to an uninterrupted run — the contract the snapshot/resume tests of
+        :mod:`repro.store` pin down.
+        """
+        raise NotImplementedError
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        """Restore state produced by :meth:`state_dict` (inverse operation)."""
+        raise NotImplementedError
+
+    def _check_state(self, state: Dict[str, Any]) -> None:
+        """Shared validation: type tag and per-parameter buffer shapes."""
+        if not isinstance(state, dict):
+            raise ValueError(f"optimizer state must be a dict, got {type(state).__name__}")
+        expected = type(self).__name__
+        found = state.get("type")
+        if found != expected:
+            raise ValueError(
+                f"optimizer state was produced by {found!r}, cannot load into {expected}"
+            )
+
+    def _check_buffers(self, buffers, what: str) -> List[np.ndarray]:
+        buffers = list(buffers)
+        if len(buffers) != len(self.parameters):
+            raise ValueError(
+                f"optimizer state holds {len(buffers)} {what} buffers but the "
+                f"optimizer has {len(self.parameters)} parameters"
+            )
+        restored = []
+        for index, (buffer, param) in enumerate(zip(buffers, self.parameters)):
+            buffer = np.asarray(buffer, dtype=np.float64)
+            if buffer.shape != param.data.shape:
+                raise ValueError(
+                    f"shape mismatch for {what} buffer {index}: "
+                    f"{buffer.shape} vs parameter {param.data.shape}"
+                )
+            restored.append(buffer.copy())
+        return restored
 
 
 class SGD(Optimizer):
@@ -59,6 +105,25 @@ class SGD(Optimizer):
                 param.data = param.data + self._velocity[index]
             else:
                 param.data = param.data - self.lr * grad
+
+    def state_dict(self) -> Dict[str, Any]:
+        return {
+            "type": "SGD",
+            "lr": self.lr,
+            "momentum": self.momentum,
+            "weight_decay": self.weight_decay,
+            "velocity": None
+            if self._velocity is None
+            else [buffer.copy() for buffer in self._velocity],
+        }
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        self._check_state(state)
+        self.lr = float(state["lr"])
+        self.momentum = float(state["momentum"])
+        self.weight_decay = float(state["weight_decay"])
+        velocity = state.get("velocity")
+        self._velocity = None if velocity is None else self._check_buffers(velocity, "velocity")
 
 
 class Adam(Optimizer):
@@ -105,3 +170,25 @@ class Adam(Optimizer):
             m_hat = self._m[index] / bias1
             v_hat = self._v[index] / bias2
             param.data = param.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def state_dict(self) -> Dict[str, Any]:
+        return {
+            "type": "Adam",
+            "lr": self.lr,
+            "betas": (self.beta1, self.beta2),
+            "eps": self.eps,
+            "weight_decay": self.weight_decay,
+            "step_count": self._step_count,
+            "m": [buffer.copy() for buffer in self._m],
+            "v": [buffer.copy() for buffer in self._v],
+        }
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        self._check_state(state)
+        self.lr = float(state["lr"])
+        self.beta1, self.beta2 = (float(beta) for beta in state["betas"])
+        self.eps = float(state["eps"])
+        self.weight_decay = float(state["weight_decay"])
+        self._step_count = int(state["step_count"])
+        self._m = self._check_buffers(state["m"], "first-moment")
+        self._v = self._check_buffers(state["v"], "second-moment")

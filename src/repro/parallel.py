@@ -193,18 +193,32 @@ def _execute_spec(spec_dict: Dict[str, Any]):
     return result
 
 
-def run_trials(specs: Iterable[Any], jobs: Union[int, str, None] = None) -> List[Any]:
+def run_trials(
+    specs: Iterable[Any],
+    jobs: Union[int, str, None] = None,
+    store_dir: Optional[str] = None,
+) -> List[Any]:
     """Execute specs (RunSpec / dict / JSON) and return results in order.
 
     Each trial is seeded entirely by its spec, so the per-spec results are
     bitwise identical regardless of ``jobs``; only wall-clock time changes.
+    ``store_dir`` points ``REPRO_STORE_DIR`` at a warm-start artifact store
+    for the duration of the sweep — pool workers inherit the environment,
+    so every trial consults the same pretraining cache
+    (``RunResult.extra['pretrain_cache']`` records the hit/miss per trial).
     """
+    from repro.store import store_env
+
     spec_dicts = [_normalise_spec(spec) for spec in specs]
-    return parallel_map(_execute_spec, spec_dicts, jobs=jobs)
+    with store_env(store_dir):
+        return parallel_map(_execute_spec, spec_dicts, jobs=jobs)
 
 
 def run_seeded(
-    spec: Any, seeds: Sequence[int], jobs: Union[int, str, None] = None
+    spec: Any,
+    seeds: Sequence[int],
+    jobs: Union[int, str, None] = None,
+    store_dir: Optional[str] = None,
 ) -> List[Any]:
     """Run one spec once per seed (in ``seeds`` order), optionally pooled."""
     base = _normalise_spec(spec)
@@ -213,4 +227,4 @@ def run_seeded(
         spec_dict = copy.deepcopy(base)
         spec_dict["seed"] = int(seed)
         expanded.append(spec_dict)
-    return run_trials(expanded, jobs=jobs)
+    return run_trials(expanded, jobs=jobs, store_dir=store_dir)

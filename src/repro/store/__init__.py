@@ -1,0 +1,80 @@
+"""repro.store — versioned checkpointing and warm-start artifact store.
+
+The persistence layer between training and everything downstream:
+
+* :class:`~repro.store.snapshot.Snapshot` — versioned serialization of a
+  model's full training state (parameters, clustering/mixture extras,
+  optimizer moments, RNG stream, epoch counters, producing spec), with
+  schema checks and fail-fast validation against the target model.
+* :class:`~repro.store.store.ArtifactStore` — a content-addressed
+  filesystem store (``REPRO_STORE_DIR``) keyed by stable hashes of
+  ``(dataset, model, variant, seed, config)``.
+* :func:`~repro.store.pretrain_cache.warm_pretrain` — the pretraining
+  snapshot cache that lets D / R-D pairs and multi-seed sweeps skip
+  re-pretraining while staying bitwise identical to cold runs.
+* :mod:`repro.store.keys` — canonical-JSON SHA-256 keying, stable across
+  dict orderings and process restarts.
+
+Typical use::
+
+    store = ArtifactStore("/tmp/artifacts")
+    snap = Snapshot.capture(model, optimizer=opt, epoch=40, phase="pretrain")
+    store.put(key, snap)
+    ...
+    store.get(key).apply(model, optimizer=opt)   # bitwise resume
+
+or, end to end, ``Pipeline.save(result, path)`` / ``Pipeline.load(path)``
+and ``repro-run --warm-start / --save-to / --from-checkpoint``.
+"""
+
+from repro.errors import (
+    ArtifactNotFoundError,
+    SnapshotMismatchError,
+    SnapshotSchemaError,
+    StoreError,
+)
+from repro.store.keys import (
+    array_digest,
+    canonical_json,
+    config_hash,
+    graph_fingerprint,
+    pretrain_key,
+    run_key,
+)
+from repro.store.pretrain_cache import (
+    disabled_stats,
+    pretrain_cache_key,
+    warm_pretrain,
+)
+from repro.store.snapshot import FORMAT_NAME, SCHEMA_VERSION, Snapshot
+from repro.store.store import (
+    DEFAULT_STORE_DIR,
+    STORE_DIR_ENV,
+    ArtifactStore,
+    active_store,
+    store_env,
+)
+
+__all__ = [
+    "ArtifactNotFoundError",
+    "ArtifactStore",
+    "DEFAULT_STORE_DIR",
+    "FORMAT_NAME",
+    "SCHEMA_VERSION",
+    "STORE_DIR_ENV",
+    "Snapshot",
+    "SnapshotMismatchError",
+    "SnapshotSchemaError",
+    "StoreError",
+    "active_store",
+    "array_digest",
+    "canonical_json",
+    "config_hash",
+    "disabled_stats",
+    "graph_fingerprint",
+    "pretrain_cache_key",
+    "pretrain_key",
+    "run_key",
+    "store_env",
+    "warm_pretrain",
+]

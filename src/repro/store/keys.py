@@ -1,0 +1,123 @@
+"""Stable, content-addressed keys for the artifact store.
+
+Every artifact is identified by a SHA-256 over a *canonical* JSON rendering
+of its identity — the same ``(dataset, model, variant, seed, config)``
+coordinates that identify a trial, mirroring how
+:func:`repro.parallel.load_dataset_cached` keys its per-process dataset
+cache.  Canonicalisation sorts dict keys recursively and normalises numpy
+scalars/arrays and tuples, so the key is independent of dict insertion
+order, process boundaries and Python hash randomisation: the same logical
+identity always maps to the same hex digest, in any process, on any run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Dict
+
+import numpy as np
+
+from repro.errors import StoreError
+
+
+def _canonical(value: Any):
+    """Recursively normalise ``value`` into canonical JSON-compatible data."""
+    if isinstance(value, dict):
+        normalised = {}
+        for key in value:
+            if not isinstance(key, str):
+                raise StoreError(
+                    f"store keys require string dict keys, got {type(key).__name__}: {key!r}"
+                )
+            normalised[key] = _canonical(value[key])
+        return {key: normalised[key] for key in sorted(normalised)}
+    if isinstance(value, (list, tuple)):
+        return [_canonical(item) for item in value]
+    if isinstance(value, np.ndarray):
+        return {"__ndarray__": value.shape, "sha256": array_digest(value)}
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, (np.bool_,)):
+        return bool(value)
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    raise StoreError(
+        f"cannot build a stable store key from {type(value).__name__}: {value!r}"
+    )
+
+
+def canonical_json(payload: Any) -> str:
+    """The canonical JSON text hashed by :func:`config_hash` (sorted keys)."""
+    return json.dumps(_canonical(payload), sort_keys=True, separators=(",", ":"))
+
+
+def config_hash(payload: Any) -> str:
+    """Hex SHA-256 of the canonical JSON rendering of ``payload``.
+
+    Stable across dict key orderings, tuples vs lists, numpy vs builtin
+    scalars, and process restarts.
+    """
+    return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
+
+
+def array_digest(array: np.ndarray) -> str:
+    """Hex SHA-256 of an array's dtype, shape and contiguous bytes."""
+    array = np.ascontiguousarray(array)
+    digest = hashlib.sha256()
+    digest.update(str(array.dtype).encode("utf-8"))
+    digest.update(str(array.shape).encode("utf-8"))
+    digest.update(array.tobytes())
+    return digest.hexdigest()
+
+
+def graph_fingerprint(graph) -> Dict[str, Any]:
+    """Content identity of an :class:`~repro.graph.graph.AttributedGraph`.
+
+    Used when a trial is driven from an explicit graph (no registry dataset
+    spec to key on): the adjacency and feature *contents* identify the
+    pretraining input, so corrupted/robustness-sweep graphs never alias the
+    clean dataset they were derived from.
+    """
+    return {
+        "name": getattr(graph, "name", "graph"),
+        "num_nodes": int(graph.num_nodes),
+        "adjacency": array_digest(graph.adjacency),
+        "features": array_digest(graph.features),
+    }
+
+
+def pretrain_key(
+    *,
+    dataset: Any,
+    model: Any,
+    seed: int,
+    pretrain_epochs: int,
+    config: Any = None,
+) -> str:
+    """Key of a shared pretraining snapshot.
+
+    Deliberately excludes the trial *variant*: the paper's fairness protocol
+    makes D and R-D share pretraining weights, so both variants of a pair
+    resolve to the same snapshot.  ``dataset`` is either a dataset-spec dict
+    (registry trials) or a :func:`graph_fingerprint` (explicit graphs);
+    ``config`` carries anything else that changes the pretraining numerics
+    (e.g. sparse-backend promotion thresholds).
+    """
+    return config_hash(
+        {
+            "kind": "pretrain",
+            "dataset": dataset,
+            "model": model,
+            "seed": int(seed),
+            "pretrain_epochs": int(pretrain_epochs),
+            "config": config,
+        }
+    )
+
+
+def run_key(spec_dict: Dict[str, Any]) -> str:
+    """Key of a fully trained artifact: the hash of its complete RunSpec."""
+    return config_hash({"kind": "run", "spec": spec_dict})

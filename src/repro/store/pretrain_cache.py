@@ -1,0 +1,111 @@
+"""Warm-start cache for the shared pretraining phase.
+
+Every D / R-D pair, ablation row and multi-seed trial starts from the same
+self-supervised pretraining, and before this module existed each of them
+re-ran it from scratch.  :func:`warm_pretrain` makes pretraining a cached
+artifact: on a hit the model (weights, discriminator/optimizer extras and
+— crucially — the RNG stream) is restored to its exact post-pretraining
+state, so everything downstream is bitwise identical to a cold run; on a
+miss the model pretrains normally and the resulting snapshot is stored for
+the next trial.
+
+Key construction mirrors :func:`repro.parallel.load_dataset_cached`: a
+registry trial is keyed by its dataset spec; an explicit graph is keyed by
+a content fingerprint of its adjacency and features, so corrupted
+robustness-sweep graphs never alias the clean dataset they came from.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, Optional
+
+from repro.store.keys import graph_fingerprint, pretrain_key
+from repro.store.snapshot import Snapshot
+from repro.store.store import ArtifactStore, active_store
+
+
+def disabled_stats() -> Dict[str, Any]:
+    """The stats dict reported when no store is configured."""
+    return {"enabled": False, "hit": False, "key": None, "store": None}
+
+
+def pretrain_cache_key(
+    model,
+    pretrain_epochs: int,
+    dataset: Optional[Dict[str, Any]] = None,
+    graph=None,
+    config: Any = None,
+) -> str:
+    """Stable key of one pretraining run.
+
+    ``dataset`` (a dataset-spec dict) wins over ``graph`` (content
+    fingerprint); the model is identified by its full scalar configuration
+    signature, which already carries the model seed.
+    """
+    if dataset is None:
+        if graph is None:
+            raise ValueError("pretrain_cache_key needs a dataset spec or a graph")
+        dataset = graph_fingerprint(graph)
+    return pretrain_key(
+        dataset=dataset,
+        model=model.config_signature(),
+        seed=getattr(model, "seed", 0),
+        pretrain_epochs=pretrain_epochs,
+        config=config,
+    )
+
+
+def warm_pretrain(
+    model,
+    graph,
+    pretrain_epochs: int,
+    store: Optional[ArtifactStore] = None,
+    dataset: Optional[Dict[str, Any]] = None,
+    config: Any = None,
+    spec: Optional[Dict[str, Any]] = None,
+    verbose: bool = False,
+) -> Dict[str, Any]:
+    """Pretrain ``model`` on ``graph``, served from ``store`` when possible.
+
+    Returns a stats dict (``enabled`` / ``hit`` / ``key`` / ``seconds``)
+    that callers surface in ``RunResult.extra['pretrain_cache']``.  With no
+    store (explicit or :func:`~repro.store.store.active_store`), this is
+    exactly ``model.pretrain(...)``.
+    """
+    store = store if store is not None else active_store()
+    start = time.perf_counter()
+    if store is None:
+        model.pretrain(graph, epochs=pretrain_epochs, verbose=verbose)
+        stats = disabled_stats()
+        stats["seconds"] = time.perf_counter() - start
+        return stats
+
+    key = pretrain_cache_key(
+        model, pretrain_epochs, dataset=dataset, graph=graph, config=config
+    )
+    snapshot = store.get(key, default=None)
+    if snapshot is not None:
+        # restore_rng=True: the snapshot's RNG state is the post-pretraining
+        # stream, so the clustering phase consumes exactly the noise a cold
+        # run would.
+        snapshot.apply(model, restore_rng=True)
+        hit = True
+    else:
+        model.pretrain(graph, epochs=pretrain_epochs, verbose=verbose)
+        snapshot = Snapshot.capture(
+            model,
+            spec=spec,
+            epoch=pretrain_epochs,
+            phase="pretrain",
+            metadata={"graph": getattr(graph, "name", "graph")},
+        )
+        store.put(key, snapshot)
+        hit = False
+    return {
+        "enabled": True,
+        "hit": hit,
+        "key": key,
+        "store": store.root,
+        "seconds": time.perf_counter() - start,
+    }

@@ -1,0 +1,225 @@
+"""Versioned serialization of trained-model state.
+
+A :class:`Snapshot` captures everything needed to continue — or serve — a
+model exactly where it stopped:
+
+* the model's parameter ``state_dict`` plus its non-parameter
+  ``extra_state`` (cluster moments, mixture parameters, DGAE's trainable
+  centres, the RNG stream),
+* optionally the driving optimizer's state (Adam moments and step count),
+  so a resumed run takes bitwise-identical gradient steps,
+* epoch counters and the training phase,
+* the producing :class:`~repro.api.spec.RunSpec` as a plain dict, making
+  every artifact self-describing,
+* a schema-version field checked on load, so stale files fail with a clear
+  :class:`~repro.errors.SnapshotSchemaError` instead of a silent misload.
+
+Snapshots validate themselves against the model they are applied to
+(:meth:`Snapshot.validate`) *before* mutating anything, raising
+:class:`~repro.errors.SnapshotMismatchError` — this is what lets
+:class:`~repro.api.Pipeline` fail fast on a wrong checkpoint instead of
+mid-training.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from repro.errors import SnapshotMismatchError, SnapshotSchemaError
+
+#: bump when the payload layout changes incompatibly.
+SCHEMA_VERSION = 1
+#: magic tag identifying snapshot payloads on disk.
+FORMAT_NAME = "repro.store/snapshot"
+
+
+@dataclass
+class Snapshot:
+    """One frozen training state (see module docstring)."""
+
+    model_class: str
+    params: Dict[str, np.ndarray]
+    extra: Dict[str, Any]
+    config: Dict[str, Any]
+    optimizer: Optional[Dict[str, Any]] = None
+    epoch: int = 0
+    phase: str = "pretrain"
+    spec: Optional[Dict[str, Any]] = None
+    metadata: Dict[str, Any] = field(default_factory=dict)
+    schema_version: int = SCHEMA_VERSION
+
+    # ------------------------------------------------------------------
+    # capture / apply
+    # ------------------------------------------------------------------
+    @classmethod
+    def capture(
+        cls,
+        model,
+        optimizer=None,
+        spec: Optional[Dict[str, Any]] = None,
+        epoch: int = 0,
+        phase: str = "pretrain",
+        metadata: Optional[Dict[str, Any]] = None,
+    ) -> "Snapshot":
+        """Freeze ``model`` (and optionally its optimizer) into a snapshot."""
+        return cls(
+            model_class=type(model).__name__,
+            params={name: value.copy() for name, value in model.state_dict().items()},
+            extra=model.extra_state(),
+            config=model.config_signature(),
+            optimizer=None if optimizer is None else optimizer.state_dict(),
+            epoch=int(epoch),
+            phase=str(phase),
+            spec=None if spec is None else dict(spec),
+            metadata=dict(metadata or {}),
+        )
+
+    def validate(self, model) -> None:
+        """Check the snapshot fits ``model`` without mutating anything.
+
+        Raises :class:`SnapshotMismatchError` on a class mismatch, missing
+        parameters, shape mismatches, or parameters the model cannot hold.
+        Parameters that only materialise during clustering initialisation
+        (declared in ``extra['trainable_extras']``, e.g. DGAE's centres)
+        are allowed to be absent from a freshly built model.
+        """
+        if self.schema_version != SCHEMA_VERSION:
+            raise SnapshotSchemaError(
+                f"snapshot has schema version {self.schema_version}, "
+                f"this build reads version {SCHEMA_VERSION}"
+            )
+        model_class = type(model).__name__
+        if self.model_class != model_class:
+            raise SnapshotMismatchError(
+                f"snapshot was captured from {self.model_class}, "
+                f"cannot apply to {model_class}"
+            )
+        named = model.named_parameters()
+        missing = set(named) - set(self.params)
+        if missing:
+            raise SnapshotMismatchError(
+                f"snapshot is missing parameters the model holds: {sorted(missing)}"
+            )
+        allowed_extras = set(self.extra.get("trainable_extras", []))
+        unexpected = set(self.params) - set(named) - allowed_extras
+        if unexpected:
+            raise SnapshotMismatchError(
+                f"snapshot holds parameters the model cannot load: {sorted(unexpected)}"
+            )
+        for name, param in named.items():
+            value = np.asarray(self.params[name])
+            if value.shape != param.data.shape:
+                raise SnapshotMismatchError(
+                    f"shape mismatch for parameter {name!r}: snapshot has "
+                    f"{value.shape}, model expects {param.data.shape}"
+                )
+
+    def apply(self, model, optimizer=None, restore_rng: bool = True):
+        """Restore this snapshot into ``model`` (and ``optimizer``, if given).
+
+        Validation runs first, so a mismatched snapshot raises without
+        touching the model.  ``restore_rng=False`` loads weights and
+        clustering state but keeps the model's own RNG stream (the fairness
+        protocol's shared-pretraining handoff); ``restore_rng=True`` makes
+        continued training bitwise identical to an uninterrupted run.
+        """
+        self.validate(model)
+        if optimizer is not None and self.optimizer is None:
+            raise SnapshotMismatchError(
+                "snapshot holds no optimizer state; capture with "
+                "Snapshot.capture(model, optimizer=...) to support resuming"
+            )
+        model.load_extra_state(self.extra, restore_rng=restore_rng)
+        model.load_state_dict(self.params)
+        if optimizer is not None:
+            try:
+                optimizer.load_state_dict(self.optimizer)
+            except ValueError as error:
+                raise SnapshotMismatchError(
+                    f"snapshot optimizer state does not fit: {error}"
+                ) from error
+        return model
+
+    # ------------------------------------------------------------------
+    # on-disk format
+    # ------------------------------------------------------------------
+    def to_payload(self) -> Dict[str, Any]:
+        """The dict actually pickled to disk (format tag + schema version)."""
+        return {
+            "format": FORMAT_NAME,
+            "schema_version": self.schema_version,
+            "model_class": self.model_class,
+            "params": self.params,
+            "extra": self.extra,
+            "config": self.config,
+            "optimizer": self.optimizer,
+            "epoch": self.epoch,
+            "phase": self.phase,
+            "spec": self.spec,
+            "metadata": self.metadata,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Any) -> "Snapshot":
+        if not isinstance(payload, dict) or payload.get("format") != FORMAT_NAME:
+            raise SnapshotSchemaError(
+                "not a repro snapshot payload (missing the "
+                f"{FORMAT_NAME!r} format tag)"
+            )
+        version = payload.get("schema_version")
+        if version != SCHEMA_VERSION:
+            raise SnapshotSchemaError(
+                f"snapshot has schema version {version!r}, "
+                f"this build reads version {SCHEMA_VERSION}"
+            )
+        return cls(
+            model_class=payload["model_class"],
+            params=payload["params"],
+            extra=payload["extra"],
+            config=payload["config"],
+            optimizer=payload.get("optimizer"),
+            epoch=int(payload.get("epoch", 0)),
+            phase=str(payload.get("phase", "pretrain")),
+            spec=payload.get("spec"),
+            metadata=dict(payload.get("metadata", {})),
+            schema_version=version,
+        )
+
+    def save(self, path: str) -> str:
+        """Write the snapshot to ``path`` atomically (tmp file + rename)."""
+        directory = os.path.dirname(os.path.abspath(path)) or "."
+        os.makedirs(directory, exist_ok=True)
+        handle, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(handle, "wb") as stream:
+                pickle.dump(self.to_payload(), stream, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_path, path)
+        except BaseException:
+            if os.path.exists(tmp_path):
+                os.unlink(tmp_path)
+            raise
+        return path
+
+    @classmethod
+    def load(cls, path: str) -> "Snapshot":
+        """Read a snapshot written by :meth:`save`.
+
+        Anything that is not a well-formed snapshot of the supported schema
+        version raises :class:`SnapshotSchemaError`.
+        """
+        try:
+            with open(path, "rb") as stream:
+                payload = pickle.load(stream)
+        except FileNotFoundError:
+            raise
+        except (pickle.UnpicklingError, EOFError, AttributeError, ValueError) as error:
+            raise SnapshotSchemaError(
+                f"cannot read snapshot {path!r}: {error}"
+            ) from error
+        return cls.from_payload(payload)

@@ -1,0 +1,198 @@
+"""Filesystem-backed, content-addressed artifact store.
+
+An :class:`ArtifactStore` maps stable keys (hex digests from
+:mod:`repro.store.keys`) to :class:`~repro.store.snapshot.Snapshot` files
+under one root directory:
+
+* ``<root>/objects/<key[:2]>/<key>.snap`` — the pickled snapshot payload,
+* ``<root>/objects/<key[:2]>/<key>.json`` — a small human-readable manifest
+  (model class, phase, epoch, schema version, the producing spec) so a
+  store can be inspected with ``cat`` and ``ls``.
+
+The root comes from the ``REPRO_STORE_DIR`` environment variable by
+default; :func:`active_store` returns ``None`` when that variable is unset,
+which is how the warm-start machinery stays a no-op until a store is
+configured.  Writes are atomic (tmp file + rename), so concurrent sweep
+workers racing to populate the same key simply last-write-win with
+identical bytes.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import os
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.errors import ArtifactNotFoundError, StoreError
+from repro.store.snapshot import Snapshot
+
+#: environment variable naming the store root (unset disables warm starts).
+STORE_DIR_ENV = "REPRO_STORE_DIR"
+#: directory used when warm starts are requested without an explicit root.
+DEFAULT_STORE_DIR = ".repro-store"
+
+_MISSING = object()
+
+
+def _check_key(key: str) -> str:
+    if not isinstance(key, str) or not key or not all(
+        c in "0123456789abcdef" for c in key
+    ):
+        raise StoreError(
+            f"store keys are lowercase hex digests from repro.store.keys, got {key!r}"
+        )
+    return key
+
+
+class ArtifactStore:
+    """Content-addressed snapshot store rooted at one directory."""
+
+    def __init__(self, root: Optional[str] = None) -> None:
+        if root is None:
+            root = os.environ.get(STORE_DIR_ENV) or DEFAULT_STORE_DIR
+        self.root = str(root)
+        self._stats: Dict[str, int] = {"hits": 0, "misses": 0, "puts": 0}
+
+    # ------------------------------------------------------------------
+    # paths
+    # ------------------------------------------------------------------
+    def _object_path(self, key: str) -> str:
+        key = _check_key(key)
+        return os.path.join(self.root, "objects", key[:2], f"{key}.snap")
+
+    def _manifest_path(self, key: str) -> str:
+        return self._object_path(key)[: -len(".snap")] + ".json"
+
+    # ------------------------------------------------------------------
+    # mapping operations
+    # ------------------------------------------------------------------
+    def contains(self, key: str) -> bool:
+        return os.path.exists(self._object_path(key))
+
+    __contains__ = contains
+
+    def put(self, key: str, snapshot: Snapshot) -> str:
+        """Store ``snapshot`` under ``key``; returns the object path."""
+        if not isinstance(snapshot, Snapshot):
+            raise StoreError(
+                f"ArtifactStore stores Snapshot objects, got {type(snapshot).__name__}"
+            )
+        path = self._object_path(key)
+        snapshot.save(path)
+        manifest = {
+            "key": key,
+            "schema_version": snapshot.schema_version,
+            "model_class": snapshot.model_class,
+            "phase": snapshot.phase,
+            "epoch": snapshot.epoch,
+            "config": snapshot.config,
+            "spec": snapshot.spec,
+            "metadata": snapshot.metadata,
+        }
+        manifest_path = self._manifest_path(key)
+        tmp_path = manifest_path + ".tmp"
+        with open(tmp_path, "w", encoding="utf-8") as stream:
+            json.dump(manifest, stream, indent=2, default=str)
+        os.replace(tmp_path, manifest_path)
+        self._stats["puts"] += 1
+        return path
+
+    def get(self, key: str, default: Any = _MISSING) -> Snapshot:
+        """Load the snapshot stored under ``key``.
+
+        A miss raises :class:`~repro.errors.ArtifactNotFoundError` unless a
+        ``default`` is given.  Hit/miss counters feed the cache statistics
+        surfaced in ``RunResult.extra``.
+        """
+        path = self._object_path(key)
+        if not os.path.exists(path):
+            self._stats["misses"] += 1
+            if default is _MISSING:
+                raise ArtifactNotFoundError(key, self.root)
+            return default
+        snapshot = Snapshot.load(path)
+        self._stats["hits"] += 1
+        return snapshot
+
+    def manifest(self, key: str) -> Dict[str, Any]:
+        """The JSON manifest written next to the snapshot."""
+        path = self._manifest_path(key)
+        if not os.path.exists(path):
+            raise ArtifactNotFoundError(key, self.root)
+        with open(path, "r", encoding="utf-8") as stream:
+            return json.load(stream)
+
+    def delete(self, key: str) -> bool:
+        """Remove an artifact; returns whether anything was deleted."""
+        removed = False
+        for path in (self._object_path(key), self._manifest_path(key)):
+            if os.path.exists(path):
+                os.unlink(path)
+                removed = True
+        return removed
+
+    def keys(self) -> List[str]:
+        """Every stored key (sorted)."""
+        objects_root = os.path.join(self.root, "objects")
+        found: List[str] = []
+        if not os.path.isdir(objects_root):
+            return found
+        for shard in os.listdir(objects_root):
+            shard_dir = os.path.join(objects_root, shard)
+            if not os.path.isdir(shard_dir):
+                continue
+            for name in os.listdir(shard_dir):
+                if name.endswith(".snap"):
+                    found.append(name[: -len(".snap")])
+        return sorted(found)
+
+    def __len__(self) -> int:
+        return len(self.keys())
+
+    def stats(self) -> Dict[str, Any]:
+        """Hit/miss/put counters of *this* store handle, plus identity."""
+        return {**self._stats, "root": self.root, "entries": len(self), "pid": os.getpid()}
+
+    def clear(self) -> int:
+        """Delete every artifact; returns how many were removed."""
+        keys = self.keys()
+        for key in keys:
+            self.delete(key)
+        return len(keys)
+
+
+def active_store() -> Optional[ArtifactStore]:
+    """The environment-configured store, or ``None`` when warm starts are off.
+
+    Reading ``REPRO_STORE_DIR`` at call time (not import time) lets sweeps
+    enable the store for pool workers by exporting the variable before the
+    pool starts — worker processes inherit the parent environment.
+    """
+    root = os.environ.get(STORE_DIR_ENV)
+    if not root:
+        return None
+    return ArtifactStore(root)
+
+
+@contextlib.contextmanager
+def store_env(root: Optional[str]) -> Iterator[Optional[str]]:
+    """Temporarily point ``REPRO_STORE_DIR`` at ``root`` (``None`` = no-op).
+
+    Used by the sweep entry points: setting the variable in the parent
+    before a process pool spins up is what propagates the warm store to
+    every worker.
+    """
+    if root is None:
+        yield None
+        return
+    root = str(root)
+    previous = os.environ.get(STORE_DIR_ENV)
+    os.environ[STORE_DIR_ENV] = root
+    try:
+        yield root
+    finally:
+        if previous is None:
+            os.environ.pop(STORE_DIR_ENV, None)
+        else:
+            os.environ[STORE_DIR_ENV] = previous
