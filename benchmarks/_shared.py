@@ -13,11 +13,11 @@ the paper's and discusses where the shapes agree.
 
 from __future__ import annotations
 
-import os
 from functools import lru_cache
 from typing import Dict, Tuple
 
 from repro.datasets import load_dataset
+from repro.env import BENCH_JOBS_ENV, env_jobs
 from repro.datasets.registry import DATASETS
 from repro.experiments import ExperimentConfig, learning_dynamics_study, run_model_pair
 from repro.experiments.runner import PairResult
@@ -33,8 +33,7 @@ def bench_jobs():
     processes, and ``auto`` uses every core.  Per-seed results are bitwise
     identical either way (see :mod:`repro.parallel`).
     """
-    value = os.environ.get("REPRO_BENCH_JOBS", "1")
-    return value if value == "auto" else int(value)
+    return env_jobs(BENCH_JOBS_ENV, 1)
 
 #: budget used by every benchmark (see EXPERIMENTS.md for the rationale).
 BENCH_CONFIG = ExperimentConfig(

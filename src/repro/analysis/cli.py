@@ -1,0 +1,120 @@
+"""``repro-lint`` — run the project lint rules over source trees.
+
+Usage::
+
+    repro-lint src benchmarks examples
+    repro-lint --select REP002,REP003 src
+    repro-lint --format json src
+    repro-lint --report lint-report.json src benchmarks examples
+    repro-lint --list-rules
+
+Exit status is 0 when no error-severity diagnostics remain, 1 when any
+error survives suppression, 2 on usage errors (unknown rule codes,
+missing paths).  ``--report`` writes the full JSON report (diagnostics,
+per-code summary, rule catalogue) regardless of the chosen terminal
+format — CI uploads it as an artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional, Sequence
+
+from repro.errors import LintConfigError
+
+USAGE_EXIT_CODE = 2
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="Run the repro project lint rules (REP001-REP006) over source trees.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (e.g. src benchmarks examples)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="CODES",
+        help="comma-separated rule codes to run (default: all registered rules)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="terminal output format (default: text)",
+    )
+    parser.add_argument(
+        "--report",
+        metavar="PATH",
+        help="also write the full JSON report to PATH (CI artifact)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the registered rules and exit",
+    )
+    return parser
+
+
+def _print_rules() -> None:
+    from repro.analysis.linter import RULES, _resolve_select
+
+    _resolve_select(None)  # ensure the project rules are registered
+    for name in RULES.names():
+        entry = RULES.entry(name)
+        print(f"{name}  [{entry.metadata['severity']}]  {entry.metadata['summary']}")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        _print_rules()
+        return 0
+
+    if not args.paths:
+        parser.print_usage(sys.stderr)
+        print("repro-lint: error: no paths given (try: repro-lint src)", file=sys.stderr)
+        return USAGE_EXIT_CODE
+
+    select: Optional[List[str]] = None
+    if args.select:
+        select = [code.strip() for code in args.select.split(",") if code.strip()]
+
+    from repro.analysis.linter import lint_paths
+
+    try:
+        report = lint_paths(args.paths, select=select)
+    except LintConfigError as exc:
+        print(f"repro-lint: error: {exc}", file=sys.stderr)
+        return USAGE_EXIT_CODE
+
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as handle:
+            json.dump(report.to_dict(), handle, indent=2)
+            handle.write("\n")
+
+    if args.format == "json":
+        json.dump(report.to_dict(), sys.stdout, indent=2)
+        print()
+    else:
+        for diagnostic in report.diagnostics:
+            print(diagnostic.format())
+        counts = ", ".join(f"{code}: {n}" for code, n in report.summary().items())
+        tail = f" ({counts})" if counts else ""
+        print(
+            f"repro-lint: {report.files_checked} files checked, "
+            f"{report.error_count} errors, {report.warning_count} warnings{tail}"
+        )
+
+    return report.exit_code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,331 @@
+"""AST rule engine behind ``repro-lint``.
+
+The engine is deliberately small: a rule is a function from a
+:class:`ModuleContext` (parsed tree + path + derived module name) to
+:class:`RuleViolation` instances, registered on the same generic
+:class:`~repro.api.registry.Registry` protocol the model/dataset/callback
+registries use.  The engine owns everything rule authors should not have
+to re-implement:
+
+* file discovery and parsing,
+* module-name derivation (``src/repro/core/x.py`` → ``repro.core.x``),
+  so rules can scope themselves to library packages,
+* ``# repro: noqa[REPxxx]`` suppression handling, including the policy
+  checks (a suppression must name its codes, carry a justification, and
+  actually suppress something — REP000 otherwise),
+* severity ordering, report assembly and JSON serialisation.
+
+The project rules (REP001–REP006) live in :mod:`repro.analysis.rules`;
+importing this module registers them.  See CONTRIBUTING.md for how to add
+a rule.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.api.registry import Registry
+from repro.errors import LintConfigError
+
+__all__ = [
+    "Diagnostic",
+    "RuleViolation",
+    "ModuleContext",
+    "LintReport",
+    "RULES",
+    "rule",
+    "lint_source",
+    "lint_file",
+    "lint_paths",
+]
+
+#: Meta-diagnostic code for suppression-policy violations.
+NOQA_POLICY_CODE = "REP000"
+#: Diagnostic code reported for files that fail to parse.
+PARSE_ERROR_CODE = "REP900"
+
+_SEVERITY_RANK = {"error": 0, "warning": 1}
+
+#: Matches ``repro: noqa[<codes>] <justification>`` trailing comments.
+_NOQA_RE = re.compile(r"#\s*repro:\s*noqa\[([^\]]*)\]\s*(.*)$")
+_CODE_RE = re.compile(r"^REP\d{3}$")
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding, addressable as ``path:line:column``."""
+
+    path: str
+    line: int
+    column: int
+    code: str
+    severity: str
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.column}: {self.code} [{self.severity}] {self.message}"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "column": self.column,
+            "code": self.code,
+            "severity": self.severity,
+            "message": self.message,
+        }
+
+
+@dataclass(frozen=True)
+class RuleViolation:
+    """What a rule yields: a location plus the finding text."""
+
+    line: int
+    column: int
+    message: str
+
+
+@dataclass
+class _Suppression:
+    line: int
+    codes: Tuple[str, ...]
+    justification: str
+    used: Set[str] = field(default_factory=set)
+
+
+class ModuleContext:
+    """Everything a rule needs to know about one parsed file."""
+
+    def __init__(self, path: str, source: str, tree: ast.Module, module: str) -> None:
+        self.path = path
+        self.source = source
+        self.tree = tree
+        #: Dotted module name (``repro.core.losses``) or ``""`` for scripts
+        #: outside a package root (benchmarks, examples).
+        self.module = module
+        self.lines = source.splitlines()
+
+    @property
+    def in_library(self) -> bool:
+        """Whether the file is library code (the ``repro`` package)."""
+        return self.module == "repro" or self.module.startswith("repro.")
+
+    def module_is(self, *prefixes: str) -> bool:
+        """Whether the module falls under any of the dotted ``prefixes``."""
+        return any(
+            self.module == prefix or self.module.startswith(prefix + ".")
+            for prefix in prefixes
+        )
+
+
+#: The rule registry — the same protocol as the model/dataset registries,
+#: so ``RULES.describe()`` / metadata queries work unchanged.
+RULES: Registry = Registry("lint rule")
+
+Checker = Callable[[ModuleContext], Iterable[RuleViolation]]
+
+
+def rule(code: str, *, summary: str, severity: str = "error") -> Callable[[Checker], Checker]:
+    """Register a checker under a ``REPxxx`` code.
+
+    >>> @rule("REP042", summary="no frobnication", severity="warning")
+    ... def check_frob(ctx: ModuleContext):
+    ...     yield RuleViolation(1, 0, "frobnicated")
+    """
+    if not _CODE_RE.match(code):
+        raise LintConfigError(f"rule codes look like REP123, got {code!r}")
+    if severity not in _SEVERITY_RANK:
+        raise LintConfigError(f"severity must be one of {sorted(_SEVERITY_RANK)}, got {severity!r}")
+
+    def decorator(checker: Checker) -> Checker:
+        RULES.add(code, checker, summary=summary, severity=severity)
+        return checker
+
+    return decorator
+
+
+def module_name_for(path: str) -> str:
+    """Derive a dotted module name from a file path.
+
+    The segment after the last ``src`` directory is treated as the package
+    root (``src/repro/nn/tensor.py`` → ``repro.nn.tensor``); files outside
+    a ``src`` tree (benchmark and example scripts) map to ``""`` so
+    library-scoped rules skip them.
+    """
+    parts = list(os.path.normpath(path).split(os.sep))
+    if "src" not in parts:
+        return ""
+    rel = parts[len(parts) - 1 - parts[::-1].index("src"):][1:]
+    if not rel:
+        return ""
+    if rel[-1].endswith(".py"):
+        rel[-1] = rel[-1][: -len(".py")]
+    if rel and rel[-1] == "__init__":
+        rel = rel[:-1]
+    return ".".join(rel)
+
+
+def _parse_suppressions(lines: Sequence[str], path: str) -> Tuple[Dict[int, _Suppression], List[Diagnostic]]:
+    """Collect per-line noqa suppressions and their policy violations."""
+    suppressions: Dict[int, _Suppression] = {}
+    policy: List[Diagnostic] = []
+    for lineno, text in enumerate(lines, start=1):
+        match = _NOQA_RE.search(text)
+        if match is None:
+            continue
+        raw_codes = [code.strip() for code in match.group(1).split(",") if code.strip()]
+        justification = match.group(2).strip().lstrip("—-# ").strip()
+        if not raw_codes or any(not _CODE_RE.match(code) for code in raw_codes):
+            # Not a (valid) suppression — docstrings describing the syntax
+            # land here, and a typo'd noqa fails open: the violation it
+            # meant to silence is still reported, so nothing hides.
+            continue
+        if not justification:
+            policy.append(
+                Diagnostic(
+                    path, lineno, 0, NOQA_POLICY_CODE, "error",
+                    f"noqa[{','.join(raw_codes)}] must carry a justification "
+                    "comment explaining why the waiver is sound",
+                )
+            )
+        suppressions[lineno] = _Suppression(lineno, tuple(raw_codes), justification)
+    return suppressions, policy
+
+
+def _resolve_select(select: Optional[Sequence[str]]) -> List[str]:
+    import repro.analysis.rules  # noqa: F401 — registers the REP rules
+
+    if select is None:
+        return RULES.names()
+    unknown = [code for code in select if code not in RULES]
+    if unknown:
+        raise LintConfigError(
+            f"unknown lint rule(s): {', '.join(unknown)}; available: {', '.join(RULES.names())}"
+        )
+    return list(select)
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    module: Optional[str] = None,
+    select: Optional[Sequence[str]] = None,
+) -> List[Diagnostic]:
+    """Lint source text directly (the entry point the self-tests use)."""
+    codes = _resolve_select(select)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Diagnostic(
+                path, exc.lineno or 1, exc.offset or 0, PARSE_ERROR_CODE,
+                "error", f"file does not parse: {exc.msg}",
+            )
+        ]
+    ctx = ModuleContext(path, source, tree, module_name_for(path) if module is None else module)
+    suppressions, diagnostics = _parse_suppressions(ctx.lines, path)
+
+    for code in codes:
+        entry = RULES.entry(code)
+        severity = str(entry.metadata["severity"])
+        for violation in entry.factory(ctx):
+            suppression = suppressions.get(violation.line)
+            if suppression is not None and code in suppression.codes:
+                suppression.used.add(code)
+                continue
+            diagnostics.append(
+                Diagnostic(path, violation.line, violation.column, code, severity, violation.message)
+            )
+
+    # An unused suppression is a blanket waiver waiting to rot; only
+    # meaningful when every rule ran (otherwise "unused" is an artifact of
+    # the --select filter).
+    if select is None:
+        for suppression in suppressions.values():
+            unused = [code for code in suppression.codes if code not in suppression.used]
+            if unused:
+                diagnostics.append(
+                    Diagnostic(
+                        path, suppression.line, 0, NOQA_POLICY_CODE, "warning",
+                        f"noqa[{','.join(unused)}] suppresses nothing on this line; drop it",
+                    )
+                )
+
+    diagnostics.sort(key=lambda d: (d.path, d.line, d.column, d.code))
+    return diagnostics
+
+
+def lint_file(path: str, select: Optional[Sequence[str]] = None) -> List[Diagnostic]:
+    """Lint one file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    return lint_source(source, path=path, select=select)
+
+
+def iter_python_files(paths: Sequence[str]) -> Iterator[str]:
+    """Yield every ``.py`` file under ``paths`` (files pass through)."""
+    for target in paths:
+        if os.path.isfile(target):
+            yield target
+            continue
+        if not os.path.isdir(target):
+            raise LintConfigError(f"no such file or directory: {target!r}")
+        for root, dirs, files in os.walk(target):
+            dirs[:] = sorted(d for d in dirs if not d.startswith(".") and d != "__pycache__")
+            for name in sorted(files):
+                if name.endswith(".py"):
+                    yield os.path.join(root, name)
+
+
+@dataclass
+class LintReport:
+    """The result of a lint run over a set of paths."""
+
+    diagnostics: List[Diagnostic]
+    files_checked: int
+
+    @property
+    def error_count(self) -> int:
+        return sum(1 for d in self.diagnostics if d.severity == "error")
+
+    @property
+    def warning_count(self) -> int:
+        return sum(1 for d in self.diagnostics if d.severity == "warning")
+
+    @property
+    def exit_code(self) -> int:
+        """0 when no error-severity diagnostics remain, 1 otherwise."""
+        return 1 if self.error_count else 0
+
+    def summary(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for diagnostic in self.diagnostics:
+            counts[diagnostic.code] = counts.get(diagnostic.code, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "files_checked": self.files_checked,
+            "errors": self.error_count,
+            "warnings": self.warning_count,
+            "summary": self.summary(),
+            "rules": RULES.describe(),
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+        }
+
+
+def lint_paths(paths: Sequence[str], select: Optional[Sequence[str]] = None) -> LintReport:
+    """Lint every Python file under ``paths`` and return the full report."""
+    diagnostics: List[Diagnostic] = []
+    files = 0
+    for path in iter_python_files(paths):
+        files += 1
+        diagnostics.extend(lint_file(path, select=select))
+    diagnostics.sort(
+        key=lambda d: (_SEVERITY_RANK[d.severity], d.path, d.line, d.column, d.code)
+    )
+    return LintReport(diagnostics=diagnostics, files_checked=files)

@@ -1,0 +1,361 @@
+"""The project lint rules (REP001–REP006).
+
+Each rule guards an invariant this reproduction actually depends on —
+they are the contracts earlier PRs established, turned into checks:
+
+========  ============================================================
+REP001    no unseeded randomness in library code (``--jobs`` bitwise
+          determinism; repro.parallel)
+REP002    no dense materialization on the CSR hot paths
+          (repro.core / repro.nn / repro.minibatch; PR-2 contract)
+REP003    every ``backward()`` paired with ``release_graph()`` /
+          ``no_grad()`` in the same scope (the PR-4 leak class)
+REP004    no lambdas / closures handed to the process pool
+          (pool workers pickle their work units)
+REP005    every environment read goes through :mod:`repro.env`
+          (one documented accessor; REPRO_* is public surface)
+REP006    no bare ``assert`` / ``raise Exception`` in library code
+          (typed :mod:`repro.errors` hierarchy only)
+========  ============================================================
+
+Violations carry ``file:line`` positions and are suppressable per line
+with ``# repro: noqa[REPxxx] <justification>`` — see CONTRIBUTING.md for
+the waiver policy.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Set
+
+from repro.analysis.linter import ModuleContext, RuleViolation, rule
+
+__all__ = [
+    "check_unseeded_randomness",
+    "check_dense_materialization",
+    "check_backward_release",
+    "check_pool_picklability",
+    "check_env_accessor",
+    "check_typed_errors",
+]
+
+#: dotted prefixes of the CSR-only packages guarded by REP002.
+_SPARSE_HOT_PACKAGES = ("repro.core", "repro.nn", "repro.minibatch")
+
+#: np.random attributes that construct explicitly-seeded generators (fine)
+#: rather than drawing from the process-global stream (not fine).
+_RNG_CONSTRUCTORS = {
+    "default_rng",
+    "Generator",
+    "BitGenerator",
+    "SeedSequence",
+    "MT19937",
+    "PCG64",
+    "PCG64DXSM",
+    "Philox",
+    "SFC64",
+}
+
+#: np.random attributes that *read* generator state without drawing from
+#: it (the RNG-isolation sanitizer fingerprints state this way).
+_RNG_STATE_READS = {"get_state"}
+
+#: entry points of repro.parallel whose callable/iterable arguments cross
+#: a process boundary and therefore must pickle.
+_POOL_ENTRY_POINTS = {"parallel_map", "run_trials", "run_seeded"}
+
+
+def _dotted(node: ast.AST) -> str:
+    """Best-effort dotted name of a call target (``np.random.rand``)."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+def _violation(node: ast.AST, message: str) -> RuleViolation:
+    return RuleViolation(getattr(node, "lineno", 1), getattr(node, "col_offset", 0), message)
+
+
+# ----------------------------------------------------------------------
+# REP001 — unseeded randomness
+# ----------------------------------------------------------------------
+@rule(
+    "REP001",
+    summary="no unseeded randomness in library code (np.random.* module "
+    "calls, argless default_rng())",
+)
+def check_unseeded_randomness(ctx: ModuleContext) -> Iterator[RuleViolation]:
+    """Global-stream draws make results depend on call order across the
+    whole process, which breaks the bitwise any-``jobs`` guarantee of
+    :mod:`repro.parallel`.  Randomness must flow from generators seeded
+    with explicit values."""
+    if not ctx.in_library:
+        return
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        dotted = _dotted(node.func)
+        argless = not node.args and not node.keywords
+        if dotted.startswith(("np.random.", "numpy.random.")):
+            attr = dotted.rsplit(".", 1)[1]
+            if attr in _RNG_STATE_READS:
+                continue
+            if attr not in _RNG_CONSTRUCTORS:
+                yield _violation(
+                    node,
+                    f"{dotted}() draws from the process-global RNG; use an "
+                    f"explicitly seeded np.random.default_rng(seed)",
+                )
+            elif attr in {"default_rng", "SeedSequence"} and argless:
+                yield _violation(
+                    node,
+                    f"argless {dotted}() seeds from OS entropy; pass an "
+                    f"explicit seed so trials stay reproducible",
+                )
+        elif isinstance(node.func, ast.Name) and node.func.id == "default_rng" and argless:
+            yield _violation(
+                node,
+                "argless default_rng() seeds from OS entropy; pass an "
+                "explicit seed so trials stay reproducible",
+            )
+
+
+# ----------------------------------------------------------------------
+# REP002 — dense materialization on CSR hot paths
+# ----------------------------------------------------------------------
+@rule(
+    "REP002",
+    summary="no dense adjacency materialization inside repro.core / "
+    "repro.nn / repro.minibatch without a justified waiver",
+)
+def check_dense_materialization(ctx: ModuleContext) -> Iterator[RuleViolation]:
+    """The PR-2 contract: the propagation/loss hot paths stay O(|E|·d).
+    ``to_dense()`` and ``np.asarray(adjacency)`` turn them back into
+    O(N²); intentional dense branches (small-graph dispatch, per-batch
+    blocks) must carry a justified waiver."""
+    if not ctx.module_is(*_SPARSE_HOT_PACKAGES):
+        return
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        if isinstance(node.func, ast.Attribute) and node.func.attr == "to_dense":
+            yield _violation(
+                node,
+                "to_dense() materializes an O(N^2) matrix on a CSR hot "
+                "path; keep the sparse form or add a justified waiver",
+            )
+            continue
+        dotted = _dotted(node.func)
+        if dotted in {"np.asarray", "numpy.asarray", "np.array", "numpy.array", "np.asfortranarray"}:
+            if node.args:
+                try:
+                    target = ast.unparse(node.args[0])
+                except Exception:  # pragma: no cover - unparse is total on parsed trees
+                    target = ""
+                if "adj" in target.lower():
+                    yield _violation(
+                        node,
+                        f"{dotted}({target}, ...) densifies an adjacency on "
+                        f"a CSR hot path; dispatch on the sparse type or "
+                        f"add a justified waiver",
+                    )
+
+
+# ----------------------------------------------------------------------
+# REP003 — backward() paired with release_graph()/no_grad()
+# ----------------------------------------------------------------------
+def _scope_nodes(tree: ast.Module) -> Iterator[ast.AST]:
+    """The module plus every (async) function definition."""
+    yield tree
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def _direct_body(scope: ast.AST) -> Iterator[ast.AST]:
+    """Nodes of ``scope`` excluding nested function/class bodies."""
+    stack = list(ast.iter_child_nodes(scope))
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+@rule(
+    "REP003",
+    summary="every backward() call site pairs with release_graph() or "
+    "no_grad() in the same scope",
+)
+def check_backward_release(ctx: ModuleContext) -> Iterator[RuleViolation]:
+    """A backward graph is a web of reference cycles; without an explicit
+    ``release_graph()`` each step's intermediates survive until the cyclic
+    GC runs (the PR-4 leak class, measured at ~4x peak memory)."""
+    for scope in _scope_nodes(ctx.tree):
+        backward_calls: List[ast.Call] = []
+        releases = False
+        for node in _direct_body(scope):
+            if isinstance(node, ast.Call):
+                if isinstance(node.func, ast.Attribute):
+                    if node.func.attr == "backward":
+                        backward_calls.append(node)
+                    elif node.func.attr == "release_graph":
+                        releases = True
+                elif isinstance(node.func, ast.Name) and node.func.id == "release_graph":
+                    releases = True
+            elif isinstance(node, ast.withitem):
+                target = node.context_expr
+                if isinstance(target, ast.Call):
+                    target = target.func
+                if _dotted(target).split(".")[-1] == "no_grad":
+                    releases = True
+        if not releases:
+            for call in backward_calls:
+                yield _violation(
+                    call,
+                    "backward() without release_graph() in the same scope "
+                    "leaks the step graph until the cyclic GC runs; release "
+                    "the loss root after optimizer.step()",
+                )
+
+
+# ----------------------------------------------------------------------
+# REP004 — pool picklability
+# ----------------------------------------------------------------------
+@rule(
+    "REP004",
+    summary="no lambdas or closures passed to parallel_map / run_trials "
+    "(pool workers pickle their work units)",
+)
+def check_pool_picklability(ctx: ModuleContext) -> Iterator[RuleViolation]:
+    """``ProcessPoolExecutor`` pickles the callable; lambdas and functions
+    defined inside other functions fail at submit time — but only when
+    ``jobs > 1``, which is exactly how the bug escapes serial test runs."""
+
+    class Visitor(ast.NodeVisitor):
+        def __init__(self) -> None:
+            self.violations: List[RuleViolation] = []
+            self._nested_defs: List[Set[str]] = []
+
+        def _visit_function(self, node: ast.AST, name: str = "") -> None:
+            if self._nested_defs and name:
+                self._nested_defs[-1].add(name)
+            self._nested_defs.append(set())
+            self.generic_visit(node)
+            self._nested_defs.pop()
+
+        def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+            self._visit_function(node, node.name)
+
+        def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+            self._visit_function(node, node.name)
+
+        def visit_Lambda(self, node: ast.Lambda) -> None:
+            self._visit_function(node)
+
+        def visit_Call(self, node: ast.Call) -> None:
+            target = _dotted(node.func).split(".")[-1]
+            if target in _POOL_ENTRY_POINTS:
+                arguments = list(node.args) + [kw.value for kw in node.keywords]
+                for argument in arguments:
+                    if isinstance(argument, ast.Lambda):
+                        self.violations.append(
+                            _violation(
+                                argument,
+                                f"lambda passed to {target}() cannot be "
+                                f"pickled into pool workers; use a "
+                                f"module-level function",
+                            )
+                        )
+                    elif isinstance(argument, ast.Name) and any(
+                        argument.id in defs for defs in self._nested_defs
+                    ):
+                        self.violations.append(
+                            _violation(
+                                argument,
+                                f"{argument.id!r} is defined inside an "
+                                f"enclosing function; closures passed to "
+                                f"{target}() cannot be pickled into pool "
+                                f"workers — move it to module level",
+                            )
+                        )
+            self.generic_visit(node)
+
+    visitor = Visitor()
+    visitor.visit(ctx.tree)
+    yield from visitor.violations
+
+
+# ----------------------------------------------------------------------
+# REP005 — environment reads through repro.env
+# ----------------------------------------------------------------------
+@rule(
+    "REP005",
+    summary="all environment reads (REPRO_*) routed through the repro.env "
+    "accessor",
+)
+def check_env_accessor(ctx: ModuleContext) -> Iterator[RuleViolation]:
+    """:mod:`repro.env` is the one place that reads ``os.environ``: it
+    validates types, registers every supported ``REPRO_*`` variable, and
+    generates the documentation table.  Reads anywhere else reintroduce
+    undocumented configuration surface."""
+    if ctx.module_is("repro.env"):
+        return
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Call):
+            dotted = _dotted(node.func)
+            if dotted in {"os.environ.get", "environ.get", "os.getenv"}:
+                yield _violation(
+                    node,
+                    f"{dotted}(...) bypasses the repro.env accessor; use "
+                    f"repro.env.env_str/env_int/env_flag (and register the "
+                    f"variable) instead",
+                )
+        elif isinstance(node, ast.Subscript) and isinstance(node.ctx, ast.Load):
+            if _dotted(node.value) in {"os.environ", "environ"}:
+                yield _violation(
+                    node,
+                    "os.environ[...] bypasses the repro.env accessor; use "
+                    "repro.env.env_str/env_int/env_flag (and register the "
+                    "variable) instead",
+                )
+
+
+# ----------------------------------------------------------------------
+# REP006 — typed errors only
+# ----------------------------------------------------------------------
+@rule(
+    "REP006",
+    summary="no bare assert / raise Exception in library code (typed "
+    "repro.errors only)",
+)
+def check_typed_errors(ctx: ModuleContext) -> Iterator[RuleViolation]:
+    """Asserts vanish under ``python -O`` and generic ``Exception`` gives
+    callers nothing to catch; library invariants raise the typed
+    :mod:`repro.errors` hierarchy instead."""
+    if not ctx.in_library:
+        return
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Assert):
+            yield _violation(
+                node,
+                "bare assert in library code vanishes under python -O; "
+                "raise a typed repro.errors exception "
+                "(e.g. InternalInvariantError) instead",
+            )
+        elif isinstance(node, ast.Raise) and node.exc is not None:
+            target = node.exc
+            if isinstance(target, ast.Call):
+                target = target.func
+            if isinstance(target, ast.Name) and target.id in {"Exception", "BaseException"}:
+                yield _violation(
+                    node,
+                    f"raise {target.id} gives callers nothing to catch; "
+                    f"raise a typed repro.errors exception instead",
+                )

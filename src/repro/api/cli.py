@@ -206,11 +206,10 @@ def _resolve_warm_start(value):
     if value is None:
         return None
     if value is True:
-        import os
-
+        from repro.env import env_str
         from repro.store import DEFAULT_STORE_DIR, STORE_DIR_ENV
 
-        return os.environ.get(STORE_DIR_ENV) or DEFAULT_STORE_DIR
+        return env_str(STORE_DIR_ENV, DEFAULT_STORE_DIR)
     return str(value)
 
 

@@ -13,6 +13,7 @@ from typing import Optional
 import numpy as np
 
 from repro.clustering.kmeans import KMeans
+from repro.errors import InternalInvariantError
 from repro.graph.graph import AttributedGraph
 from repro.graph.laplacian import normalize_adjacency
 
@@ -73,5 +74,10 @@ class AGC:
             if variance > previous_variance:
                 break
             previous_variance = variance
-        assert best_labels is not None
+        if best_labels is None:
+            raise InternalInvariantError(
+                "AGC order search finished without selecting labels; "
+                "max_order must be >= 1 and the first iteration always sets "
+                "a candidate"
+            )
         return best_labels

@@ -45,6 +45,10 @@ def gradient_cosine(
         loss.backward()
         gradient = model.gradient_vector()
         model.zero_grad()
+        # The measurement graph would otherwise linger as cyclic garbage
+        # until the GC runs (REP003); diagnostics fire every few epochs, so
+        # the piles add up.
+        loss.release_graph()
         return gradient
 
     grad_a = grad_of(loss_fn_a)

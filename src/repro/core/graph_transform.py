@@ -92,7 +92,7 @@ def build_clustering_oriented_graph(
             add_edges=add_edges,
             drop_edges=drop_edges,
         )
-    adjacency = np.asarray(adjacency, dtype=np.float64)
+    adjacency = np.asarray(adjacency, dtype=np.float64)  # repro: noqa[REP002] dense half of the dual-path dispatch; the SparseAdjacency branch above handles CSR inputs, this only normalises already-dense arrays
     assignments = np.asarray(assignments, dtype=np.float64)
     reliable_nodes = np.asarray(reliable_nodes, dtype=np.int64)
     embeddings = np.asarray(embeddings, dtype=np.float64)

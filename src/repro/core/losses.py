@@ -26,7 +26,7 @@ def reconstruction_bce_sum(embeddings: np.ndarray, adjacency: np.ndarray) -> flo
     ``Σ_ij [softplus(z_i·z_j) - a_ij z_i·z_j]``.
     """
     z = np.asarray(embeddings, dtype=np.float64)
-    a = np.asarray(adjacency, dtype=np.float64)
+    a = np.asarray(adjacency, dtype=np.float64)  # repro: noqa[REP002] all-pairs BCE is O(N²) by definition (logits = ZZᵀ is already dense); diagnostic-only, never on the training path
     logits = z @ z.T
     return float(np.sum(np.logaddexp(0.0, logits) - a * logits))
 
@@ -39,7 +39,7 @@ def laplacian_term(embeddings: np.ndarray, adjacency: np.ndarray) -> float:
 def reconstruction_remainder(embeddings: np.ndarray, adjacency: np.ndarray) -> float:
     """``L_R(Z, A_self) = Σ_ij [log(1+exp(z_i·z_j)) - a_ij (||z_i||²+||z_j||²)/2]``."""
     z = np.asarray(embeddings, dtype=np.float64)
-    a = np.asarray(adjacency, dtype=np.float64)
+    a = np.asarray(adjacency, dtype=np.float64)  # repro: noqa[REP002] the remainder term sums over all ordered pairs, O(N²) by definition; diagnostic-only, never on the training path
     logits = z @ z.T
     sq_norms = np.sum(z ** 2, axis=1)
     pair_norms = 0.5 * (sq_norms[:, None] + sq_norms[None, :])
@@ -82,6 +82,6 @@ def combined_objective(
         embeddings, adjacency
     )
     decomposed = laplacian_term(
-        embeddings, a_clus + gamma * np.asarray(adjacency, dtype=np.float64)
+        embeddings, a_clus + gamma * np.asarray(adjacency, dtype=np.float64)  # repro: noqa[REP002] the decomposition identity adds a dense membership graph to A, O(N²) by construction; verification-only helper
     ) + gamma * reconstruction_remainder(embeddings, adjacency)
     return {"direct": direct, "decomposed": decomposed, "gap": abs(direct - decomposed)}

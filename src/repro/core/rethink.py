@@ -329,11 +329,12 @@ class RethinkTrainer:
         Any configured sparse-backend thresholds apply to every
         ``propagation_matrix`` call made inside the fit.
         """
+        from repro.analysis.sanitizers import autograd_leak_check
         from repro.graph.sparse import sparse_threshold_overrides
 
         with sparse_threshold_overrides(
             self.config.sparse_node_threshold, self.config.sparse_density_threshold
-        ):
+        ), autograd_leak_check("RethinkTrainer.fit"):
             if self.config.sampler is None:
                 return self._fit_full_graph(graph, pretrained)
             return self._fit_minibatch(graph, pretrained)
@@ -467,7 +468,7 @@ class RethinkTrainer:
 
         graph_matrix = self.self_supervision_graph_
         if isinstance(graph_matrix, SparseAdjacency):
-            return graph_matrix.induced_subgraph(node_ids).to_dense()
+            return graph_matrix.induced_subgraph(node_ids).to_dense()  # repro: noqa[REP002] densifies the induced (B, B) batch block, O(B²) not O(N²) — the supervision loss consumes dense per-batch blocks by design
         n = graph_matrix.shape[0]
         if node_ids.shape[0] == n and np.array_equal(node_ids, np.arange(n)):
             # Full batch in original order: skip the O(N²) fancy-indexed copy.

@@ -1,0 +1,228 @@
+"""The single accessor for every ``REPRO_*`` environment variable.
+
+Configuration through the environment is how sweeps reconfigure pool
+workers (children inherit the parent environment), so these variables are
+part of the library's public surface.  Before this module existed each
+subsystem read ``os.environ`` on its own, which meant there was no one
+place listing what can be configured, no consistent parsing/validation,
+and no way for tooling to check that a new variable was documented.
+
+Now every variable must be declared here (:data:`ENV_VARS`), every read
+goes through the typed getters below, and the REP005 lint rule rejects
+``os.environ`` reads anywhere else in the library.  ``describe_env()``
+renders the registry as documentation rows; the README table is generated
+from it.
+
+This module is intentionally dependency-free (stdlib only) so anything —
+including :mod:`repro.errors` consumers and the linter itself — can import
+it without cycles.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Union
+
+from repro.errors import ConfigError
+
+__all__ = [
+    "EnvVar",
+    "ENV_VARS",
+    "STORE_DIR_ENV",
+    "DATASET_CACHE_SIZE_ENV",
+    "SPARSE_NODE_THRESHOLD_ENV",
+    "SPARSE_DENSITY_THRESHOLD_ENV",
+    "BENCH_JOBS_ENV",
+    "SANITIZE_ENV",
+    "env_raw",
+    "env_str",
+    "env_int",
+    "env_float",
+    "env_flag",
+    "env_jobs",
+    "env_override",
+    "describe_env",
+]
+
+
+@dataclass(frozen=True)
+class EnvVar:
+    """Declaration of one supported ``REPRO_*`` environment variable."""
+
+    name: str
+    kind: str
+    default: str
+    description: str
+
+
+#: Registry of every supported variable, in documentation order.  Adding a
+#: variable here (and nowhere else) is what makes a new ``REPRO_*`` read
+#: pass REP005 — see CONTRIBUTING.md.
+ENV_VARS: Dict[str, EnvVar] = {}
+
+
+def _register(name: str, kind: str, default: str, description: str) -> str:
+    ENV_VARS[name] = EnvVar(name=name, kind=kind, default=default, description=description)
+    return name
+
+
+STORE_DIR_ENV = _register(
+    "REPRO_STORE_DIR",
+    "path",
+    "(unset: warm starts off)",
+    "Root directory of the warm-start artifact store; unset disables "
+    "checkpoint reuse entirely.",
+)
+DATASET_CACHE_SIZE_ENV = _register(
+    "REPRO_DATASET_CACHE_SIZE",
+    "int >= 0",
+    "8",
+    "Max entries of the per-process dataset LRU used by pool workers; "
+    "0 disables caching.",
+)
+SPARSE_NODE_THRESHOLD_ENV = _register(
+    "REPRO_SPARSE_NODE_THRESHOLD",
+    "int",
+    "256",
+    "Minimum node count before a dense adjacency is auto-promoted to the "
+    "CSR backend.",
+)
+SPARSE_DENSITY_THRESHOLD_ENV = _register(
+    "REPRO_SPARSE_DENSITY_THRESHOLD",
+    "float",
+    "0.25",
+    "Maximum edge density at which a dense adjacency is auto-promoted to "
+    "the CSR backend.",
+)
+BENCH_JOBS_ENV = _register(
+    "REPRO_BENCH_JOBS",
+    "int >= 1 or 'auto'",
+    "1",
+    "Process-pool width for the multi-seed table benchmarks; 'auto' uses "
+    "every core.  Per-seed results are bitwise identical for any value.",
+)
+SANITIZE_ENV = _register(
+    "REPRO_SANITIZE",
+    "flag (1/true/on)",
+    "(unset: sanitizers off)",
+    "Enables the runtime sanitizers (NaN/Inf tensor guard, autograd leak "
+    "detector, pool-worker RNG isolation) — see repro.analysis.sanitizers.",
+)
+
+
+def _check_registered(name: str) -> EnvVar:
+    try:
+        return ENV_VARS[name]
+    except KeyError:
+        raise ConfigError(
+            f"unregistered environment variable {name!r}; declare it in "
+            f"repro.env.ENV_VARS (known: {', '.join(sorted(ENV_VARS))})"
+        ) from None
+
+
+def env_raw(name: str) -> Optional[str]:
+    """The raw value of a *registered* variable (``None`` when unset).
+
+    This is the only place in the library that reads ``os.environ``; the
+    REP005 lint rule keeps it that way.  The value is read per call, never
+    cached, so reconfiguring a worker between trials takes effect
+    immediately.
+    """
+    _check_registered(name)
+    value = os.environ.get(name)
+    return value if value else None
+
+
+def env_str(name: str, default: Optional[str] = None) -> Optional[str]:
+    """String value of ``name``, or ``default`` when unset/empty."""
+    value = env_raw(name)
+    return default if value is None else value
+
+
+def env_int(name: str, default: int) -> int:
+    """Integer value of ``name`` (``default`` when unset; typed error otherwise)."""
+    value = env_raw(name)
+    if value is None:
+        return int(default)
+    try:
+        return int(value)
+    except ValueError:
+        raise ConfigError(f"{name} must be an integer, got {value!r}") from None
+
+
+def env_float(name: str, default: float) -> float:
+    """Float value of ``name`` (``default`` when unset; typed error otherwise)."""
+    value = env_raw(name)
+    if value is None:
+        return float(default)
+    try:
+        return float(value)
+    except ValueError:
+        raise ConfigError(f"{name} must be a float, got {value!r}") from None
+
+
+def env_flag(name: str) -> bool:
+    """Boolean flag: ``1``/``true``/``yes``/``on`` (case-insensitive) enable."""
+    value = env_raw(name)
+    if value is None:
+        return False
+    return value.strip().lower() in {"1", "true", "yes", "on"}
+
+
+def env_jobs(name: str, default: Union[int, str] = 1) -> Union[int, str]:
+    """A jobs-count value: a positive integer or the literal ``'auto'``."""
+    value = env_raw(name)
+    if value is None:
+        return default
+    if value == "auto":
+        return "auto"
+    try:
+        jobs = int(value)
+    except ValueError:
+        raise ConfigError(f"{name} must be a positive integer or 'auto', got {value!r}") from None
+    if jobs < 1:
+        raise ConfigError(f"{name} must be >= 1 or 'auto', got {jobs}")
+    return jobs
+
+
+@contextlib.contextmanager
+def env_override(name: str, value: Optional[str]) -> Iterator[Optional[str]]:
+    """Temporarily set a registered variable (``None`` value = no-op).
+
+    Setting the variable in the parent before a process pool spins up is
+    what propagates configuration to every worker; this context restores
+    the previous value (or unsets) on exit.
+    """
+    _check_registered(name)
+    if value is None:
+        yield None
+        return
+    value = str(value)
+    previous = os.environ.get(name)
+    os.environ[name] = value
+    try:
+        yield value
+    finally:
+        if previous is None:
+            os.environ.pop(name, None)
+        else:
+            os.environ[name] = previous
+
+
+def describe_env() -> List[Dict[str, str]]:
+    """Documentation rows (name/type/default/description) for every variable.
+
+    The README's configuration table is generated from this, so registry
+    and documentation cannot drift apart.
+    """
+    return [
+        {
+            "name": var.name,
+            "kind": var.kind,
+            "default": var.default,
+            "description": var.description,
+        }
+        for var in ENV_VARS.values()
+    ]

@@ -9,6 +9,8 @@ pre-existing ``except KeyError`` / ``except ValueError`` call sites working.
 
 from __future__ import annotations
 
+from typing import Any, Iterable, Tuple
+
 
 class ReproError(Exception):
     """Base class of every repro-specific error."""
@@ -20,7 +22,7 @@ class UnknownEntryError(ReproError, KeyError):
     Subclasses ``KeyError`` because registries behave like mappings.
     """
 
-    def __init__(self, kind: str, name: str, available) -> None:
+    def __init__(self, kind: str, name: str, available: Iterable[str]) -> None:
         self.kind = kind
         self.name = name
         self.available = list(available)
@@ -32,7 +34,7 @@ class UnknownEntryError(ReproError, KeyError):
     def __str__(self) -> str:  # KeyError.__str__ would repr() the message
         return self.args[0]
 
-    def __reduce__(self):
+    def __reduce__(self) -> Tuple[Any, ...]:
         # Exception.__reduce__ would replay __init__ with self.args (the
         # message alone) and fail; pool workers pickle raised errors back to
         # the parent, so spell out the real constructor arguments.
@@ -52,7 +54,7 @@ class UnknownVariantError(ReproError, ValueError):
             f"unknown variant {variant!r}; expected 'base' or 'rethink'"
         )
 
-    def __reduce__(self):
+    def __reduce__(self) -> Tuple[Any, ...]:
         # See UnknownEntryError.__reduce__: keep the pickle round-trip from
         # re-wrapping the formatted message as if it were the variant.
         return (type(self), (self.variant,))
@@ -60,6 +62,64 @@ class UnknownVariantError(ReproError, ValueError):
 
 class SpecError(ReproError, ValueError):
     """A run specification is malformed or cannot be deserialised."""
+
+
+class InternalInvariantError(ReproError, RuntimeError):
+    """An internal invariant the library relies on was violated.
+
+    Replaces bare ``assert`` statements in library code (REP006): unlike an
+    assert it survives ``python -O``, carries a message explaining the
+    broken invariant, and is catchable as :class:`ReproError`.
+    """
+
+
+class AnalysisError(ReproError):
+    """Base class of every :mod:`repro.analysis` error."""
+
+
+class LintConfigError(AnalysisError, ValueError):
+    """The linter was invoked with unknown rules, paths or options."""
+
+
+class SanitizerError(AnalysisError):
+    """Base class of every runtime-sanitizer failure."""
+
+
+class NonFiniteTensorError(SanitizerError, FloatingPointError):
+    """A sanitized tensor operation produced NaN or Inf values."""
+
+
+class AutogradLeakError(SanitizerError):
+    """Autograd graph nodes survived past the scope that should release them.
+
+    This is the PR-4 leak class: ``_backward`` closures form reference
+    cycles, so an unreleased step graph keeps every intermediate array of
+    that step alive until the cyclic garbage collector happens to run.
+    """
+
+    def __init__(self, count: int, scope: str) -> None:
+        self.count = int(count)
+        self.scope = str(scope)
+        super().__init__(
+            f"{count} autograd graph node(s) created inside {scope!r} still "
+            f"hold backward closures at scope exit; call release_graph() on "
+            f"every backward() root (or build them under no_grad())"
+        )
+
+    def __reduce__(self) -> Tuple[Any, ...]:
+        # See UnknownEntryError.__reduce__: keep the pickle round-trip from
+        # replaying __init__ with the formatted message.
+        return (type(self), (self.count, self.scope))
+
+
+class RngIsolationError(SanitizerError):
+    """Library code consumed the process-global numpy RNG.
+
+    Every source of randomness must flow from explicitly seeded
+    ``np.random.Generator`` objects (REP001); touching the global stream
+    breaks the bitwise ``--jobs`` determinism guarantee of
+    :mod:`repro.parallel`.
+    """
 
 
 class StoreError(ReproError):
@@ -85,7 +145,7 @@ class ArtifactNotFoundError(StoreError, KeyError):
     def __str__(self) -> str:  # KeyError.__str__ would repr() the message
         return self.args[0]
 
-    def __reduce__(self):
+    def __reduce__(self) -> Tuple[Any, ...]:
         # Exception.__reduce__ would replay __init__ with self.args (the
         # formatted message alone); spell out the real constructor arguments
         # so pool workers can pickle the error back to the parent.

@@ -22,11 +22,12 @@ model uses.
 
 from __future__ import annotations
 
-import os
 from contextlib import contextmanager
 from typing import Optional, Tuple, Union
 
 import numpy as np
+
+from repro import env as repro_env
 
 __all__ = [
     "SparseAdjacency",
@@ -47,9 +48,10 @@ SPARSE_NODE_THRESHOLD = 256
 SPARSE_DENSITY_THRESHOLD = 0.25
 
 #: environment variables overriding the two constants above (read per call,
-#: so a worker process can be reconfigured without touching code).
-SPARSE_NODE_THRESHOLD_ENV = "REPRO_SPARSE_NODE_THRESHOLD"
-SPARSE_DENSITY_THRESHOLD_ENV = "REPRO_SPARSE_DENSITY_THRESHOLD"
+#: so a worker process can be reconfigured without touching code).  Declared
+#: in :mod:`repro.env`; re-exported here for backwards compatibility.
+SPARSE_NODE_THRESHOLD_ENV = repro_env.SPARSE_NODE_THRESHOLD_ENV
+SPARSE_DENSITY_THRESHOLD_ENV = repro_env.SPARSE_DENSITY_THRESHOLD_ENV
 
 # Process-wide programmatic overrides, set via sparse_threshold_overrides().
 # Resolution order: explicit argument > override > environment > constant.
@@ -67,12 +69,12 @@ def resolved_sparse_thresholds() -> Tuple[int, float]:
     """
     node = _node_threshold_override
     if node is None:
-        env = os.environ.get(SPARSE_NODE_THRESHOLD_ENV)
-        node = int(env) if env else SPARSE_NODE_THRESHOLD
+        node = repro_env.env_int(SPARSE_NODE_THRESHOLD_ENV, SPARSE_NODE_THRESHOLD)
     density = _density_threshold_override
     if density is None:
-        env = os.environ.get(SPARSE_DENSITY_THRESHOLD_ENV)
-        density = float(env) if env else SPARSE_DENSITY_THRESHOLD
+        density = repro_env.env_float(
+            SPARSE_DENSITY_THRESHOLD_ENV, SPARSE_DENSITY_THRESHOLD
+        )
     return int(node), float(density)
 
 

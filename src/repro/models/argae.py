@@ -96,6 +96,10 @@ class ARGAE(GAEClusteringModel):
         d_loss = self.discriminator_loss(embeddings)
         d_loss.backward()
         self._discriminator_optimizer.step()
+        # The discriminator graph is a web of reference cycles like any
+        # other step graph; sever it now instead of waiting for the cyclic
+        # GC (REP003 — the PR-4 leak class).
+        d_loss.release_graph()
 
     # ------------------------------------------------------------------
     # checkpointing (repro.store)

@@ -24,6 +24,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.analysis.sanitizers import autograd_leak_check
 from repro.clustering.assignments import estimate_cluster_moments
 from repro.clustering.kmeans import KMeans
 from repro.graph.graph import AttributedGraph
@@ -447,17 +448,18 @@ class GAEClusteringModel(Module):
         target = graph.adjacency
         optimizer = optimizer or Adam(self.parameters(), lr=self.learning_rate)
         history = PretrainResult()
-        for epoch in range(epochs):
-            optimizer.zero_grad()
-            z = self.encode(features, adj_norm)
-            loss = self.pretraining_loss(z, target)
-            loss.backward()
-            self.pretrain_step_hook(z, features, adj_norm, optimizer)
-            optimizer.step()
-            loss.release_graph()
-            history.losses.append(loss.item())
-            if verbose and epoch % 20 == 0:
-                print(f"[pretrain:{self.__class__.__name__}] epoch {epoch} loss {loss.item():.4f}")
+        with autograd_leak_check(f"{self.__class__.__name__}.pretrain"):
+            for epoch in range(epochs):
+                optimizer.zero_grad()
+                z = self.encode(features, adj_norm)
+                loss = self.pretraining_loss(z, target)
+                loss.backward()
+                self.pretrain_step_hook(z, features, adj_norm, optimizer)
+                optimizer.step()
+                loss.release_graph()
+                history.losses.append(loss.item())
+                if verbose and epoch % 20 == 0:
+                    print(f"[pretrain:{self.__class__.__name__}] epoch {epoch} loss {loss.item():.4f}")
         return history
 
     def pretrain_step_hook(self, z, features, adj_norm, optimizer) -> None:

@@ -17,6 +17,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro.analysis.sanitizers import autograd_leak_check
 from repro.clustering.assignments import soft_assignment_student_t, target_distribution
 from repro.clustering.kmeans import KMeans
 from repro.models.base import GAEClusteringModel
@@ -146,19 +147,21 @@ class DGAE(GAEClusteringModel):
             self.init_clustering(embeddings)
         optimizer = Adam(self.parameters(), lr=self.learning_rate)
         history: Dict[str, List[float]] = {"loss": [], "clustering_loss": [], "reconstruction_loss": []}
-        for epoch in range(epochs):
-            if epoch % self.target_refresh_interval == 0:
-                self.refresh_clustering(self.embed(graph))
-            optimizer.zero_grad()
-            z = self.encode(features, adj_norm)
-            clustering = self.clustering_loss(z)
-            reconstruction = self.reconstruction_loss(z, graph.adjacency)
-            loss = clustering + reconstruction * self.gamma
-            loss.backward()
-            optimizer.step()
-            history["loss"].append(loss.item())
-            history["clustering_loss"].append(clustering.item())
-            history["reconstruction_loss"].append(reconstruction.item())
-            if verbose and epoch % 20 == 0:
-                print(f"[DGAE] epoch {epoch} loss {loss.item():.4f}")
+        with autograd_leak_check("DGAE.fit_clustering"):
+            for epoch in range(epochs):
+                if epoch % self.target_refresh_interval == 0:
+                    self.refresh_clustering(self.embed(graph))
+                optimizer.zero_grad()
+                z = self.encode(features, adj_norm)
+                clustering = self.clustering_loss(z)
+                reconstruction = self.reconstruction_loss(z, graph.adjacency)
+                loss = clustering + reconstruction * self.gamma
+                loss.backward()
+                optimizer.step()
+                loss.release_graph()
+                history["loss"].append(loss.item())
+                history["clustering_loss"].append(clustering.item())
+                history["reconstruction_loss"].append(reconstruction.item())
+                if verbose and epoch % 20 == 0:
+                    print(f"[DGAE] epoch {epoch} loss {loss.item():.4f}")
         return history

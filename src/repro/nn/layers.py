@@ -100,7 +100,7 @@ class GraphConvolution(Module):
         if isinstance(adj_norm, SparseAdjacency):
             out = F.spmm(adj_norm, support)
         else:
-            adj = Tensor(np.asarray(adj_norm, dtype=np.float64))
+            adj = Tensor(np.asarray(adj_norm, dtype=np.float64))  # repro: noqa[REP002] dense half of the dual-path dispatch; spmm handles SparseAdjacency above, this wraps inputs that are already dense
             out = adj @ support
         if self.bias is not None:
             out = out + self.bias

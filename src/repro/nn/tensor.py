@@ -25,6 +25,24 @@ ArrayLike = Union[np.ndarray, float, int, "Tensor"]
 # boolean would.
 _GRAD_STATE = threading.local()
 
+# Sanitizer hook points (repro.analysis.sanitizers).  ``None`` when the
+# sanitizers are off, which keeps the hot-path cost to one global load and
+# an is-None test per operation.  The child hook sees every tensor produced
+# by an autograd op; the grad hook sees every gradient accumulated during
+# backward().
+_CHILD_HOOK: Optional[Callable[["Tensor"], None]] = None
+_GRAD_HOOK: Optional[Callable[["Tensor", np.ndarray], None]] = None
+
+
+def set_sanitizer_hooks(
+    child_hook: Optional[Callable[["Tensor"], None]],
+    grad_hook: Optional[Callable[["Tensor", np.ndarray], None]],
+) -> None:
+    """Install (or, with ``None``, remove) the runtime sanitizer hooks."""
+    global _CHILD_HOOK, _GRAD_HOOK
+    _CHILD_HOOK = child_hook
+    _GRAD_HOOK = grad_hook
+
 
 @contextlib.contextmanager
 def no_grad():
@@ -78,7 +96,9 @@ def as_tensor(value: ArrayLike) -> "Tensor":
 class Tensor:
     """A numpy array with reverse-mode autograd support."""
 
-    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+    # __weakref__ lets the sanitizers track live graph nodes in a WeakSet
+    # without ever extending their lifetime.
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name", "__weakref__")
 
     def __init__(
         self,
@@ -175,12 +195,16 @@ class Tensor:
         if requires:
             child._parents = tuple(parents)
             child._backward = backward
+        if _CHILD_HOOK is not None:
+            _CHILD_HOOK(child)
         return child
 
     def _accumulate(self, grad: np.ndarray) -> None:
         if not self.requires_grad:
             return
         grad = _unbroadcast(np.asarray(grad, dtype=np.float64), self.data.shape)
+        if _GRAD_HOOK is not None:
+            _GRAD_HOOK(self, grad)
         if self.grad is None:
             self.grad = grad.copy()
         else:

@@ -36,11 +36,15 @@ from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple, TypeVar, Union
 
+from repro import env as repro_env
+from repro.errors import ConfigError
+
 T = TypeVar("T")
 U = TypeVar("U")
 
 #: environment variable bounding the per-process dataset cache (0 disables).
-DATASET_CACHE_SIZE_ENV = "REPRO_DATASET_CACHE_SIZE"
+#: Declared in :mod:`repro.env`; re-exported here for compatibility.
+DATASET_CACHE_SIZE_ENV = repro_env.DATASET_CACHE_SIZE_ENV
 DEFAULT_DATASET_CACHE_SIZE = 8
 
 # ----------------------------------------------------------------------
@@ -59,18 +63,15 @@ _dataset_cache_stats: Dict[str, int] = {"hits": 0, "misses": 0}
 
 def dataset_cache_limit() -> int:
     """Max entries of the per-process dataset cache (env-configurable)."""
-    value = os.environ.get(DATASET_CACHE_SIZE_ENV)
-    if value is None:
-        return DEFAULT_DATASET_CACHE_SIZE
-    limit = int(value)
+    limit = repro_env.env_int(DATASET_CACHE_SIZE_ENV, DEFAULT_DATASET_CACHE_SIZE)
     if limit < 0:
-        raise ValueError(f"{DATASET_CACHE_SIZE_ENV} must be >= 0, got {limit}")
+        raise ConfigError(f"{DATASET_CACHE_SIZE_ENV} must be >= 0, got {limit}")
     return limit
 
 
 def load_dataset_cached(
     name: str, seed: int = 0, options: Optional[Dict[str, Any]] = None
-):
+) -> Any:
     """Build a registered dataset, memoised per process and dataset spec.
 
     The key is the full dataset spec — name, generation seed and options —
@@ -179,16 +180,24 @@ def _normalise_spec(spec: Any) -> Dict[str, Any]:
     raise SpecError(f"cannot execute a trial from {type(spec).__name__}")
 
 
-def _execute_spec(spec_dict: Dict[str, Any]):
+def _execute_spec(spec_dict: Dict[str, Any]) -> Any:
     """Pool worker: run one spec and return a process-portable result.
 
     The trained model is dropped: its autograd tensors hold backward
     closures that cannot be pickled, and keeping the serial path identical
     to the parallel one is what makes ``jobs`` a pure throughput knob.
+
+    With ``REPRO_SANITIZE=1`` exported (workers inherit the environment)
+    the trial runs under the runtime sanitizers, including the check that
+    it never consumes this worker's process-global RNG — the invariant the
+    bitwise any-``jobs`` determinism guarantee rests on.
     """
+    from repro.analysis.sanitizers import install_from_env, rng_isolation_check
     from repro.api.pipeline import Pipeline
 
-    result = Pipeline.from_spec(spec_dict).run()
+    install_from_env()
+    with rng_isolation_check(f"trial {spec_dict.get('model')}/{spec_dict.get('dataset')}"):
+        result = Pipeline.from_spec(spec_dict).run()
     result.model = None
     return result
 

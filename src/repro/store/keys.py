@@ -21,7 +21,7 @@ import numpy as np
 from repro.errors import StoreError
 
 
-def _canonical(value: Any):
+def _canonical(value: Any) -> Any:
     """Recursively normalise ``value`` into canonical JSON-compatible data."""
     if isinstance(value, dict):
         normalised = {}
@@ -73,7 +73,7 @@ def array_digest(array: np.ndarray) -> str:
     return digest.hexdigest()
 
 
-def graph_fingerprint(graph) -> Dict[str, Any]:
+def graph_fingerprint(graph: Any) -> Dict[str, Any]:
     """Content identity of an :class:`~repro.graph.graph.AttributedGraph`.
 
     Used when a trial is driven from an explicit graph (no registry dataset

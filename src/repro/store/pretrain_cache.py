@@ -31,10 +31,10 @@ def disabled_stats() -> Dict[str, Any]:
 
 
 def pretrain_cache_key(
-    model,
+    model: Any,
     pretrain_epochs: int,
     dataset: Optional[Dict[str, Any]] = None,
-    graph=None,
+    graph: Any = None,
     config: Any = None,
 ) -> str:
     """Stable key of one pretraining run.
@@ -57,8 +57,8 @@ def pretrain_cache_key(
 
 
 def warm_pretrain(
-    model,
-    graph,
+    model: Any,
+    graph: Any,
     pretrain_epochs: int,
     store: Optional[ArtifactStore] = None,
     dataset: Optional[Dict[str, Any]] = None,

@@ -60,8 +60,8 @@ class Snapshot:
     @classmethod
     def capture(
         cls,
-        model,
-        optimizer=None,
+        model: Any,
+        optimizer: Any = None,
         spec: Optional[Dict[str, Any]] = None,
         epoch: int = 0,
         phase: str = "pretrain",
@@ -80,7 +80,7 @@ class Snapshot:
             metadata=dict(metadata or {}),
         )
 
-    def validate(self, model) -> None:
+    def validate(self, model: Any) -> None:
         """Check the snapshot fits ``model`` without mutating anything.
 
         Raises :class:`SnapshotMismatchError` on a class mismatch, missing
@@ -120,7 +120,7 @@ class Snapshot:
                     f"{value.shape}, model expects {param.data.shape}"
                 )
 
-    def apply(self, model, optimizer=None, restore_rng: bool = True):
+    def apply(self, model: Any, optimizer: Any = None, restore_rng: bool = True) -> Any:
         """Restore this snapshot into ``model`` (and ``optimizer``, if given).
 
         Validation runs first, so a mismatched snapshot raises without

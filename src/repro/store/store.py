@@ -24,11 +24,13 @@ import json
 import os
 from typing import Any, Dict, Iterator, List, Optional
 
+from repro import env as repro_env
 from repro.errors import ArtifactNotFoundError, StoreError
 from repro.store.snapshot import Snapshot
 
 #: environment variable naming the store root (unset disables warm starts).
-STORE_DIR_ENV = "REPRO_STORE_DIR"
+#: Declared in :mod:`repro.env`; re-exported here for compatibility.
+STORE_DIR_ENV = repro_env.STORE_DIR_ENV
 #: directory used when warm starts are requested without an explicit root.
 DEFAULT_STORE_DIR = ".repro-store"
 
@@ -50,7 +52,7 @@ class ArtifactStore:
 
     def __init__(self, root: Optional[str] = None) -> None:
         if root is None:
-            root = os.environ.get(STORE_DIR_ENV) or DEFAULT_STORE_DIR
+            root = repro_env.env_str(STORE_DIR_ENV, DEFAULT_STORE_DIR)
         self.root = str(root)
         self._stats: Dict[str, int] = {"hits": 0, "misses": 0, "puts": 0}
 
@@ -169,7 +171,7 @@ def active_store() -> Optional[ArtifactStore]:
     enable the store for pool workers by exporting the variable before the
     pool starts — worker processes inherit the parent environment.
     """
-    root = os.environ.get(STORE_DIR_ENV)
+    root = repro_env.env_str(STORE_DIR_ENV)
     if not root:
         return None
     return ArtifactStore(root)
@@ -183,16 +185,5 @@ def store_env(root: Optional[str]) -> Iterator[Optional[str]]:
     before a process pool spins up is what propagates the warm store to
     every worker.
     """
-    if root is None:
-        yield None
-        return
-    root = str(root)
-    previous = os.environ.get(STORE_DIR_ENV)
-    os.environ[STORE_DIR_ENV] = root
-    try:
-        yield root
-    finally:
-        if previous is None:
-            os.environ.pop(STORE_DIR_ENV, None)
-        else:
-            os.environ[STORE_DIR_ENV] = previous
+    with repro_env.env_override(STORE_DIR_ENV, root) as value:
+        yield value

@@ -13,6 +13,32 @@ from repro.graph.generators import attributed_sbm_graph
 from repro.models import build_model
 
 
+@pytest.fixture(scope="session", autouse=True)
+def _sanitizers_from_env():
+    """Run the whole suite under the runtime sanitizers when asked to.
+
+    ``REPRO_SANITIZE=1 pytest`` (the CI sanitized tier-1 run) installs the
+    NaN/Inf tensor guard for every test and arms the autograd leak detector
+    inside every training loop; without the variable this fixture is a
+    no-op and the suite runs exactly as before.
+    """
+    from repro.analysis.sanitizers import install_from_env, uninstall_sanitizers
+
+    installed = install_from_env()
+    yield
+    if installed:
+        uninstall_sanitizers()
+
+
+@pytest.fixture()
+def sanitized_runtime():
+    """Opt-in per-test sanitizers (used by the sanitizer self-tests)."""
+    from repro.analysis.sanitizers import sanitized
+
+    with sanitized():
+        yield
+
+
 def make_tiny_graph(seed: int = 0, num_nodes: int = 90, num_clusters: int = 3):
     """A small, well-separated attributed SBM graph used across the suite."""
     proportions = [1.0 / num_clusters] * num_clusters

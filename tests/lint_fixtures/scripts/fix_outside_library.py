@@ -1,0 +1,8 @@
+"""Library-scoped rules must skip files outside a ``src`` root."""
+
+import numpy as np
+
+
+def scripts_may_do_script_things(value):
+    assert value > 0  # REP006 is library-scoped; not flagged here
+    return np.random.rand(3)  # REP001 is library-scoped; not flagged here

@@ -1,0 +1,14 @@
+"""REP002 fixture: dense materialization inside repro.core."""
+
+import numpy as np
+
+
+def violations(adjacency, features):
+    dense = adjacency.to_dense()  # flagged: O(N^2) materialization
+    adj = np.asarray(adjacency, dtype=np.float64)  # flagged: densifies an adjacency
+    x = np.asarray(features, dtype=np.float64)  # fine: features are dense anyway
+    return dense, adj, x
+
+
+def suppressed(adjacency):
+    return adjacency.to_dense()  # repro: noqa[REP002] fixture: waiver syntax under test

@@ -1,0 +1,19 @@
+"""REP001 fixture: unseeded randomness in library code."""
+
+import numpy as np
+
+
+def violations():
+    a = np.random.rand(3)  # flagged: global-stream draw
+    rng = np.random.default_rng()  # flagged: argless, seeds from OS entropy
+    return a, rng
+
+
+def suppressed():
+    return np.random.rand(3)  # repro: noqa[REP001] fixture: waiver syntax under test
+
+
+def compliant(seed: int):
+    rng = np.random.default_rng(seed)
+    state = np.random.get_state()  # state read, not a draw
+    return rng.standard_normal(3), state

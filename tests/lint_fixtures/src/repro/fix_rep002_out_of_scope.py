@@ -1,0 +1,6 @@
+"""REP002 fixture: dense calls outside the guarded packages are fine."""
+
+
+def not_flagged(adjacency):
+    # repro.fix_rep002_out_of_scope is not under core/nn/minibatch.
+    return adjacency.to_dense()

@@ -1,0 +1,26 @@
+"""REP003 fixture: backward() without release_graph()/no_grad() in scope."""
+
+from repro.nn.tensor import no_grad
+
+
+def leaks(loss):
+    loss.backward()  # flagged: nothing releases the graph in this scope
+    return loss
+
+
+def releases(loss):
+    loss.backward()
+    loss.release_graph()
+    return loss
+
+
+def evaluates(model, x):
+    with no_grad():
+        out = model(x)
+    out.backward()  # no_grad in scope counts as handled
+    return out
+
+
+def suppressed(loss):
+    loss.backward()  # repro: noqa[REP003] fixture: waiver syntax under test
+    return loss

@@ -1,0 +1,25 @@
+"""REP004 fixture: unpicklable callables handed to the process pool."""
+
+from repro.parallel import parallel_map, run_trials
+
+
+def square(x):
+    return x * x
+
+
+def violations(items, specs):
+    doubled = parallel_map(lambda x: 2 * x, items, jobs=2)  # flagged: lambda
+
+    def local_fn(x):  # closure: defined inside this function
+        return x + 1
+
+    bumped = parallel_map(local_fn, items, jobs=2)  # flagged: closure
+    return doubled, bumped, run_trials(specs, jobs=2)  # fine: specs are data
+
+
+def suppressed(items):
+    return parallel_map(lambda x: x, items)  # repro: noqa[REP004] fixture: waiver syntax under test
+
+
+def compliant(items):
+    return parallel_map(square, items, jobs=2)

@@ -1,0 +1,25 @@
+"""REP005 fixture: environment reads bypassing repro.env."""
+
+import os
+
+from repro.env import env_str
+
+
+def violations():
+    a = os.environ.get("REPRO_FIXTURE")  # flagged
+    b = os.environ["REPRO_FIXTURE"]  # flagged
+    c = os.getenv("REPRO_FIXTURE")  # flagged
+    return a, b, c
+
+
+def writes_are_fine(value):
+    # Assigning (tests, env_override) is not a read; only reads are flagged.
+    os.environ["REPRO_FIXTURE"] = value
+
+
+def suppressed():
+    return os.getenv("REPRO_FIXTURE")  # repro: noqa[REP005] fixture: waiver syntax under test
+
+
+def compliant():
+    return env_str("REPRO_STORE_DIR", "artifacts")

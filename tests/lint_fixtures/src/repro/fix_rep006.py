@@ -1,0 +1,21 @@
+"""REP006 fixture: bare assert / raise Exception in library code."""
+
+from repro.errors import ConfigError
+
+
+def violations(value):
+    assert value > 0  # flagged: vanishes under python -O
+    if value > 10:
+        raise Exception("too big")  # flagged: untyped
+    return value
+
+
+def suppressed(value):
+    assert value > 0  # repro: noqa[REP006] fixture: waiver syntax under test
+    return value
+
+
+def compliant(value):
+    if value <= 0:
+        raise ConfigError(f"value must be positive, got {value}")
+    return value
