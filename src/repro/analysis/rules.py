@@ -16,6 +16,9 @@ REP005    every environment read goes through :mod:`repro.env`
           (one documented accessor; REPRO_* is public surface)
 REP006    no bare ``assert`` / ``raise Exception`` in library code
           (typed :mod:`repro.errors` hierarchy only)
+REP007    no swallowed exceptions in library code: bare ``except:`` and
+          ``except Exception: pass`` hide the failures the resilience
+          layer is built to surface (repro.resilience)
 ========  ============================================================
 
 Violations carry ``file:line`` positions and are suppressable per line
@@ -37,6 +40,7 @@ __all__ = [
     "check_pool_picklability",
     "check_env_accessor",
     "check_typed_errors",
+    "check_exception_swallowing",
 ]
 
 #: dotted prefixes of the CSR-only packages guarded by REP002.
@@ -359,3 +363,70 @@ def check_typed_errors(ctx: ModuleContext) -> Iterator[RuleViolation]:
                     f"raise {target.id} gives callers nothing to catch; "
                     f"raise a typed repro.errors exception instead",
                 )
+
+
+# ----------------------------------------------------------------------
+# REP007 — no swallowed exceptions
+# ----------------------------------------------------------------------
+def _is_silent_body(body: List[ast.stmt]) -> bool:
+    """Whether a handler body does nothing: only ``pass`` / ``...``."""
+    for statement in body:
+        if isinstance(statement, ast.Pass):
+            continue
+        if (
+            isinstance(statement, ast.Expr)
+            and isinstance(statement.value, ast.Constant)
+            and statement.value.value is Ellipsis
+        ):
+            continue
+        return False
+    return True
+
+
+def _broad_handler_names(handler: ast.ExceptHandler) -> List[str]:
+    """Catch-all exception names a handler matches (Exception/BaseException)."""
+    kinds = (
+        handler.type.elts
+        if isinstance(handler.type, ast.Tuple)
+        else [handler.type]
+    )
+    return [
+        kind.id
+        for kind in kinds
+        if isinstance(kind, ast.Name) and kind.id in {"Exception", "BaseException"}
+    ]
+
+
+@rule(
+    "REP007",
+    summary="no swallowed exceptions in library code (bare except:, "
+    "except Exception: pass)",
+)
+def check_exception_swallowing(ctx: ModuleContext) -> Iterator[RuleViolation]:
+    """The resilience layer's guarantees rest on failures *propagating*:
+    the supervised pool retries what it can see, the store quarantines
+    what raises, the failure report records what happened.  A bare
+    ``except:`` (which also eats ``KeyboardInterrupt``) or a catch-all
+    handler that only ``pass``-es deletes that signal.  Catch-alls that
+    actually handle — log, degrade, re-raise, record — are fine."""
+    if not ctx.in_library:
+        return
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.ExceptHandler):
+            continue
+        if node.type is None:
+            yield _violation(
+                node,
+                "bare except: catches everything including "
+                "KeyboardInterrupt; name the exception types (or catch "
+                "Exception and handle it)",
+            )
+            continue
+        broad = _broad_handler_names(node)
+        if broad and _is_silent_body(node.body):
+            yield _violation(
+                node,
+                f"except {broad[0]}: pass silently swallows every failure; "
+                f"handle the error (log, degrade, re-raise) or catch the "
+                f"specific types that are safe to ignore",
+            )

@@ -10,6 +10,9 @@ Usage::
     repro-run trial.json --warm-start ./store       # cache/reuse pretraining
     repro-run trial.json --save-to model.snap       # persist the trained model
     repro-run --from-checkpoint model.snap          # evaluate it, no training
+    repro-run trial.json --seeds 0 1 2 3 --jobs 4 --warm-start ./store \
+        --max-retries 2 --trial-timeout 600 --resume   # fault-tolerant sweep
+    repro-run store-gc ./store --max-bytes 500000000   # evict LRU artifacts
 
 Multi-seed runs: pass ``--seeds``, or give the spec a JSON list as its
 ``"seed"`` field (``"seed": [0, 1, 2, 3]``).  ``--jobs N`` fans the seeds
@@ -25,8 +28,19 @@ metrics stay bitwise identical.  ``--save-to`` snapshots the trained model
 ``--from-checkpoint`` rebuilds that model and re-evaluates it on its
 dataset without any training.
 
-The exit status is 0 on success and 2 on a malformed spec, so the command
-composes with shell pipelines and CI jobs.
+Fault tolerance (:mod:`repro.resilience`): multi-seed sweeps run under a
+supervised pool — worker crashes and hung trials are retried with
+deterministic backoff (``--max-retries`` / ``REPRO_MAX_RETRIES``), each
+attempt bounded by ``--trial-timeout`` / ``REPRO_TRIAL_TIMEOUT``.  A seed
+that exhausts its budget is quarantined and the sweep completes with the
+other seeds (``--fail-fast`` aborts instead); ``--failure-report`` writes
+the machine-readable post-mortem.  With a warm store configured, finished
+seeds are journaled as they complete and ``--resume`` replays them after an
+interruption, bitwise identical to an uninterrupted run.
+
+The exit status is 0 on success, 1 when any trial failed permanently, and
+2 on a malformed spec, so the command composes with shell pipelines and CI
+jobs.
 """
 
 from __future__ import annotations
@@ -102,6 +116,48 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="skip training: load a snapshot saved with --save-to and "
         "re-evaluate it on its spec's dataset",
+    )
+    resilience = parser.add_argument_group(
+        "fault tolerance",
+        "supervised-pool failure handling for multi-seed sweeps "
+        "(repro.resilience)",
+    )
+    resilience.add_argument(
+        "--max-retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="retries per seed after the first attempt (default: "
+        "$REPRO_MAX_RETRIES or 0)",
+    )
+    resilience.add_argument(
+        "--trial-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-attempt wall-clock budget; over-budget trials are reaped "
+        "and retried (default: $REPRO_TRIAL_TIMEOUT; 0 disables; "
+        "enforced for --jobs > 1)",
+    )
+    resilience.add_argument(
+        "--fail-fast",
+        action="store_true",
+        help="abort the sweep on the first permanently failed seed instead "
+        "of quarantining it and completing the rest",
+    )
+    resilience.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip seeds already journaled by a previous interrupted run of "
+        "this exact sweep (needs a warm store; results are bitwise "
+        "identical to an uninterrupted run)",
+    )
+    resilience.add_argument(
+        "--failure-report",
+        default=None,
+        metavar="PATH",
+        help="write the sweep's JSON failure report (totals, retry policy, "
+        "per-seed attempt histories) to PATH",
     )
     minibatch = parser.add_argument_group(
         "minibatch training",
@@ -213,6 +269,55 @@ def _resolve_warm_start(value):
     return str(value)
 
 
+def _run_store_gc(argv: Sequence[str]) -> int:
+    """``repro-run store-gc [DIR] [--max-bytes N]``: evict LRU artifacts."""
+    parser = argparse.ArgumentParser(
+        prog="repro-run store-gc",
+        description="Evict least-recently-used artifacts until the store "
+        "fits its byte budget (quarantined files are kept).",
+    )
+    parser.add_argument(
+        "store",
+        nargs="?",
+        default=None,
+        help="store root (default: $REPRO_STORE_DIR or .repro-store)",
+    )
+    parser.add_argument(
+        "--max-bytes",
+        type=int,
+        default=None,
+        metavar="N",
+        help="byte budget to shrink to (default: $REPRO_STORE_MAX_BYTES; "
+        "0 or unset only reports the store size)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit the gc stats as JSON"
+    )
+    args = parser.parse_args(argv)
+    from repro.store import ArtifactStore
+
+    store = ArtifactStore(args.store)
+    try:
+        stats = store.gc(max_bytes=args.max_bytes)
+    except ReproError as error:
+        print(f"repro-run: {error}", file=sys.stderr)
+        return 2
+    stats["store"] = store.root
+    stats["quarantined"] = len(store.quarantined())
+    if args.json:
+        print(json.dumps(stats, indent=2))
+    else:
+        print(
+            f"store-gc {store.root}: {stats['scanned_bytes']} bytes scanned, "
+            f"{stats['evicted']} artifact(s) evicted "
+            f"({stats['freed_bytes']} bytes freed), "
+            f"{stats['remaining_bytes']} bytes remain "
+            f"(budget: {stats['max_bytes'] or 'none'}, "
+            f"quarantined: {stats['quarantined']})"
+        )
+    return 0
+
+
 def _run_from_checkpoint(args) -> int:
     """--from-checkpoint: rebuild a saved model and re-evaluate it."""
     from repro.api.pipeline import Pipeline
@@ -260,7 +365,10 @@ def _print_pretrain_cache(result) -> None:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     from repro.api.pipeline import Pipeline
 
-    args = build_parser().parse_args(argv)
+    raw_argv = list(sys.argv[1:] if argv is None else argv)
+    if raw_argv[:1] == ["store-gc"]:
+        return _run_store_gc(raw_argv[1:])
+    args = build_parser().parse_args(raw_argv)
     if args.from_checkpoint is not None:
         if args.spec is not None or args.seeds is not None or args.save_to:
             print(
@@ -312,15 +420,49 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.resume and not multi_seed:
+        print(
+            "repro-run: --resume resumes a multi-seed sweep (pass --seeds "
+            'or give the spec a "seed" list)',
+            file=sys.stderr,
+        )
+        return 2
+    store_root = _resolve_warm_start(args.warm_start)
+    if args.resume and store_root is None:
+        from repro.env import env_str
+        from repro.store import STORE_DIR_ENV
+
+        if not env_str(STORE_DIR_ENV):
+            print(
+                "repro-run: --resume replays the sweep journal from an "
+                "artifact store; pass --warm-start [DIR] or set "
+                "REPRO_STORE_DIR",
+                file=sys.stderr,
+            )
+            return 2
 
     if args.print_spec:
         print(spec.to_json())
         return 0
 
+    outcome = None
     try:
+        from repro.resilience import RetryPolicy
         from repro.store import store_env
 
-        with store_env(_resolve_warm_start(args.warm_start)):
+        policy = None
+        if args.max_retries is not None or args.trial_timeout is not None:
+            if args.max_retries is not None and args.max_retries < 0:
+                raise SpecError(
+                    f"--max-retries must be >= 0, got {args.max_retries}"
+                )
+            policy = RetryPolicy.from_env(
+                max_attempts=None
+                if args.max_retries is None
+                else 1 + args.max_retries,
+                timeout=args.trial_timeout,
+            )
+        with store_env(store_root):
             if seeds is None:
                 print(f"repro-run: {spec.describe()}", file=sys.stderr)
                 results = [pipeline.run()]
@@ -331,20 +473,52 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                     f"(jobs={jobs})",
                     file=sys.stderr,
                 )
-                results = pipeline.run_trials(seeds, jobs=jobs)
+                outcome = pipeline.run_sweep(
+                    seeds,
+                    jobs=jobs,
+                    resume=args.resume,
+                    policy=policy,
+                    fail_fast=args.fail_fast,
+                )
+                results = outcome.results
+                if outcome.resumed:
+                    print(
+                        f"repro-run: resumed {outcome.resumed}/{len(seeds)} "
+                        f"seed(s) from the sweep journal",
+                        file=sys.stderr,
+                    )
         if args.save_to:
             saved = Pipeline.save(results[0], args.save_to)
             print(f"repro-run: saved snapshot to {saved}", file=sys.stderr)
     except ReproError as error:
         # Unknown dataset / model / callback names only surface when the
         # registries are consulted at run time; report them like any other
-        # bad-spec error instead of a traceback.
-        print(f"repro-run: {error}", file=sys.stderr)
-        return 2
+        # bad-spec error instead of a traceback.  TrialFailedError (the
+        # --fail-fast abort) means the sweep itself broke, not the spec.
+        from repro.errors import TrialFailedError
 
+        print(f"repro-run: {error}", file=sys.stderr)
+        return 1 if isinstance(error, TrialFailedError) else 2
+
+    if args.failure_report and outcome is not None:
+        with open(args.failure_report, "w", encoding="utf-8") as handle:
+            json.dump(outcome.report(), handle, indent=2)
+        print(
+            f"repro-run: wrote failure report to {args.failure_report}",
+            file=sys.stderr,
+        )
+
+    from repro.resilience import TrialFailure
+
+    failed = sum(isinstance(result, TrialFailure) for result in results)
     if args.json:
         summaries = []
         for seed, result in zip(seeds, results):
+            if isinstance(result, TrialFailure):
+                summaries.append(
+                    {"seed": seed, "failed": True, **result.to_dict()}
+                )
+                continue
             summary = {"seed": seed, **result.summary()}
             cache = result.extra.get("pretrain_cache")
             if cache is not None and cache.get("enabled"):
@@ -356,6 +530,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     else:
         for seed, result in zip(seeds, results):
             described = spec.replace(seed=seed).describe()
+            if isinstance(result, TrialFailure):
+                print(
+                    f"{described}: FAILED after {len(result.attempts)} "
+                    f"attempt(s) — {result.error}"
+                )
+                continue
             print(f"{described}: {result.report}")
             print(f"runtime: {result.runtime_seconds:.2f}s")
             if result.history is not None:
@@ -364,6 +544,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                     f"(converged: {result.history.converged})"
                 )
             _print_pretrain_cache(result)
+    if failed:
+        print(
+            f"repro-run: {failed}/{len(results)} trial(s) failed permanently",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 

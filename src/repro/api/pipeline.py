@@ -471,24 +471,17 @@ class Pipeline:
             },
         )
 
-    def run_trials(self, seeds, jobs=None) -> List[RunResult]:
-        """Run this pipeline once per seed, optionally over a process pool.
+    def run_sweep(self, seeds, jobs=None, resume=False, policy=None, fail_fast=False):
+        """Like :meth:`run_trials`, returning the full sweep outcome.
 
-        The per-seed results are bitwise identical whatever ``jobs`` is
-        (``None``/1 serial, an int, or ``"auto"`` for the cpu count): each
-        trial re-derives all randomness from its spec inside its worker.
-        Unlike :meth:`run`, the trained models are not returned — they hold
-        autograd closures that cannot cross process boundaries.
-
-        A :meth:`warm_start` store propagates to the workers (via
-        ``REPRO_STORE_DIR``), so repeated sweeps skip re-pretraining: the
-        first run per seed populates the store, every later run hits it.
-
-        Requires a registry dataset and declarative callbacks: an explicit
-        :meth:`graph` or live callback objects cannot be shipped to worker
-        processes.
+        The :class:`~repro.resilience.SweepOutcome` carries the ordered
+        per-seed results, the quarantined
+        :class:`~repro.resilience.TrialFailure` entries, the number of
+        journal-resumed trials, and a JSON failure report
+        (:meth:`~repro.resilience.SweepOutcome.report`) — what
+        ``repro-run --failure-report`` serialises.
         """
-        from repro.parallel import run_seeded
+        from repro.parallel import _normalise_spec, run_sweep
 
         if self._graph is not None:
             raise SpecError(
@@ -506,11 +499,50 @@ class Pipeline:
                 "snapshots are not supported (use .warm_start() to share "
                 "pretraining through the artifact store instead)"
             )
+        base = _normalise_spec(self.spec())
+        expanded = []
+        for seed in seeds:
+            spec_dict = copy.deepcopy(base)
+            spec_dict["seed"] = int(seed)
+            expanded.append(spec_dict)
         store = self._resolve_store()
-        return run_seeded(
-            self.spec(), seeds, jobs=jobs,
+        return run_sweep(
+            expanded, jobs=jobs,
             store_dir=None if store is None else store.root,
+            resume=resume, policy=policy, fail_fast=fail_fast,
         )
+
+    def run_trials(
+        self, seeds, jobs=None, resume=False, policy=None, fail_fast=False
+    ) -> List[RunResult]:
+        """Run this pipeline once per seed, optionally over a process pool.
+
+        The per-seed results are bitwise identical whatever ``jobs`` is
+        (``None``/1 serial, an int, or ``"auto"`` for the cpu count): each
+        trial re-derives all randomness from its spec inside its worker.
+        Unlike :meth:`run`, the trained models are not returned — they hold
+        autograd closures that cannot cross process boundaries.
+
+        A :meth:`warm_start` store propagates to the workers (via
+        ``REPRO_STORE_DIR``), so repeated sweeps skip re-pretraining: the
+        first run per seed populates the store, every later run hits it.
+
+        Execution is supervised (see :func:`repro.parallel.run_sweep`):
+        crashes and hangs retry under ``REPRO_MAX_RETRIES`` /
+        ``REPRO_TRIAL_TIMEOUT`` (or an explicit
+        :class:`~repro.resilience.RetryPolicy`), a trial that exhausts its
+        budget leaves a :class:`~repro.resilience.TrialFailure` in its
+        result slot (``fail_fast=True`` raises instead), and with a store
+        configured ``resume=True`` skips seeds a previous interrupted sweep
+        already finished — bitwise identical to an uninterrupted run.
+
+        Requires a registry dataset and declarative callbacks: an explicit
+        :meth:`graph` or live callback objects cannot be shipped to worker
+        processes.
+        """
+        return self.run_sweep(
+            seeds, jobs=jobs, resume=resume, policy=policy, fail_fast=fail_fast
+        ).results
 
     # ------------------------------------------------------------------
     # artifact round-trip

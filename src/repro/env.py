@@ -36,6 +36,10 @@ __all__ = [
     "SPARSE_DENSITY_THRESHOLD_ENV",
     "BENCH_JOBS_ENV",
     "SANITIZE_ENV",
+    "TRIAL_TIMEOUT_ENV",
+    "MAX_RETRIES_ENV",
+    "FAULTS_ENV",
+    "STORE_MAX_BYTES_ENV",
     "env_raw",
     "env_str",
     "env_int",
@@ -109,6 +113,38 @@ SANITIZE_ENV = _register(
     "(unset: sanitizers off)",
     "Enables the runtime sanitizers (NaN/Inf tensor guard, autograd leak "
     "detector, pool-worker RNG isolation) — see repro.analysis.sanitizers.",
+)
+TRIAL_TIMEOUT_ENV = _register(
+    "REPRO_TRIAL_TIMEOUT",
+    "float seconds > 0",
+    "(unset: no timeout)",
+    "Per-attempt wall-clock budget of a pooled trial; a trial running "
+    "longer is killed (worker terminated, pool respawned) and retried or "
+    "quarantined.  Enforced for jobs > 1 only.",
+)
+MAX_RETRIES_ENV = _register(
+    "REPRO_MAX_RETRIES",
+    "int >= 0",
+    "0",
+    "Retries granted to a failed/timed-out/crashed trial before it is "
+    "quarantined (max attempts = retries + 1), with exponential backoff "
+    "and deterministic key-derived jitter between attempts.",
+)
+FAULTS_ENV = _register(
+    "REPRO_FAULTS",
+    "fault plan",
+    "(unset: no faults)",
+    "Deterministic fault-injection plan for chaos testing, e.g. "
+    "'worker_crash:p=0.3:seed=7,store_corrupt' — see "
+    "repro.resilience.faults.  Never set in production.",
+)
+STORE_MAX_BYTES_ENV = _register(
+    "REPRO_STORE_MAX_BYTES",
+    "int >= 0",
+    "0 (unlimited)",
+    "Size budget of the artifact store; journaled sweeps and "
+    "'repro-run store-gc' evict least-recently-used artifacts (by mtime) "
+    "until the store fits.  0 disables eviction.",
 )
 
 

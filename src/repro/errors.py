@@ -122,6 +122,81 @@ class RngIsolationError(SanitizerError):
     """
 
 
+class ResilienceError(ReproError):
+    """Base class of every :mod:`repro.resilience` error."""
+
+
+class FaultPlanError(ResilienceError, ValueError):
+    """A ``REPRO_FAULTS`` fault-injection plan string is malformed."""
+
+
+class InjectedFaultError(ResilienceError, RuntimeError):
+    """A deterministic fault-injection rule fired at a choke point.
+
+    Raised by :mod:`repro.resilience.faults` for ``trial_error`` rules (and
+    for crash/hang rules degraded to errors when executing in-process); the
+    supervised pool treats it like any other trial failure, so retries and
+    quarantine apply.
+    """
+
+    def __init__(self, kind: str, site: str, key: str) -> None:
+        self.kind = kind
+        self.site = site
+        self.key = key
+        super().__init__(
+            f"injected fault {kind!r} fired at site {site!r} (key {key!r})"
+        )
+
+    def __reduce__(self) -> Tuple[Any, ...]:
+        # See UnknownEntryError.__reduce__: pool workers pickle raised
+        # errors back to the parent; replay the real constructor arguments.
+        return (type(self), (self.kind, self.site, self.key))
+
+
+class TrialFailedError(ResilienceError, RuntimeError):
+    """A supervised trial exhausted its retry budget.
+
+    ``attempts`` is the full attempt history (outcome, error text and
+    timing per attempt) assembled by the supervising pool; the last
+    worker-side exception is chained as ``__cause__`` where available.
+    """
+
+    def __init__(self, key: str, attempts: Any) -> None:
+        self.key = key
+        self.attempts = list(attempts)
+        outcomes = ", ".join(
+            str(a.get("outcome", "?")) if isinstance(a, dict) else str(a)
+            for a in self.attempts
+        )
+        super().__init__(
+            f"trial {key!r} failed permanently after "
+            f"{len(self.attempts)} attempt(s) [{outcomes}]"
+        )
+
+    def __reduce__(self) -> Tuple[Any, ...]:
+        return (type(self), (self.key, self.attempts))
+
+
+class TrialTimeoutError(TrialFailedError):
+    """A supervised trial exceeded its per-attempt timeout on every attempt.
+
+    Carries the same attempt history as :class:`TrialFailedError`; the
+    timed-out worker process is killed and the pool respawned, so a hung
+    trial can never wedge the sweep.
+    """
+
+    def __init__(self, key: str, attempts: Any, timeout: float) -> None:
+        self.timeout = float(timeout)
+        super().__init__(key, attempts)
+        self.args = (
+            f"trial {key!r} timed out (> {timeout:g}s per attempt) after "
+            f"{len(self.attempts)} attempt(s)",
+        )
+
+    def __reduce__(self) -> Tuple[Any, ...]:
+        return (type(self), (self.key, self.attempts, self.timeout))
+
+
 class StoreError(ReproError):
     """Base class of every :mod:`repro.store` error."""
 
@@ -132,6 +207,25 @@ class SnapshotSchemaError(StoreError):
 
 class SnapshotMismatchError(StoreError, ValueError):
     """A snapshot does not fit the model (or optimizer) it is applied to."""
+
+
+class ArtifactCorruptError(StoreError):
+    """A stored artifact failed its integrity checks.
+
+    Raised when an object's bytes no longer match the SHA-256 recorded at
+    write time, or when the payload cannot be unpickled at all (truncated
+    file, flipped bits).  The offending path is carried so operators can
+    inspect the quarantined file; :class:`~repro.store.store.ArtifactStore`
+    moves corrupt objects into its ``quarantine/`` area before re-raising.
+    """
+
+    def __init__(self, path: str, reason: str) -> None:
+        self.path = str(path)
+        self.reason = str(reason)
+        super().__init__(f"corrupt store artifact {self.path!r}: {self.reason}")
+
+    def __reduce__(self) -> Tuple[Any, ...]:
+        return (type(self), (self.path, self.reason))
 
 
 class ArtifactNotFoundError(StoreError, KeyError):

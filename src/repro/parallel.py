@@ -23,6 +23,14 @@ a serial run:
   many trials of one sweep materialises the graph once
   (:func:`dataset_cache_info` exposes the per-process counters).
 
+Execution rides on the supervised pool of
+:mod:`repro.resilience.supervisor`: per-attempt timeouts
+(``REPRO_TRIAL_TIMEOUT``), crash recovery with pool respawn, retry with
+deterministic backoff (``REPRO_MAX_RETRIES``), and interrupt-safe teardown.
+:func:`run_sweep` additionally journals per-trial completions into the
+artifact store so an interrupted sweep can resume (``repro-run --resume``)
+skipping finished trials, bitwise identical to an uninterrupted run.
+
 Workers are plain ``concurrent.futures`` processes running this same code
 base; no third-party dependency is involved.
 """
@@ -33,11 +41,16 @@ import copy
 import json
 import os
 from collections import OrderedDict
-from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple, TypeVar, Union
 
 from repro import env as repro_env
 from repro.errors import ConfigError
+from repro.resilience.supervisor import (
+    RetryPolicy,
+    SweepOutcome,
+    TrialFailure,
+    supervised_map,
+)
 
 T = TypeVar("T")
 U = TypeVar("U")
@@ -143,21 +156,33 @@ def resolve_jobs(jobs: Union[int, str, None], num_items: int) -> int:
 
 
 def parallel_map(
-    fn: Callable[[T], U], items: Sequence[T], jobs: Union[int, str, None] = None
+    fn: Callable[[T], U],
+    items: Sequence[T],
+    jobs: Union[int, str, None] = None,
+    policy: Optional[RetryPolicy] = None,
+    keys: Optional[Sequence[str]] = None,
 ) -> List[U]:
-    """Order-preserving map over a process pool.
+    """Order-preserving map over a supervised process pool.
 
     With ``jobs in (None, 1)`` (or a single item) the map runs in-process,
     which keeps tracebacks simple and avoids pool start-up cost.  ``fn``
     must be an importable module-level function and ``items`` picklable
     when ``jobs > 1``.
+
+    Execution is supervised (:func:`repro.resilience.supervised_map`):
+    worker crashes break only the affected attempts, hung items are reaped
+    under ``REPRO_TRIAL_TIMEOUT``, and failed attempts retry with
+    deterministic backoff up to ``REPRO_MAX_RETRIES`` (or an explicit
+    ``policy``).  ``parallel_map`` is fail-fast: an item that exhausts its
+    budget raises the typed :class:`~repro.errors.TrialFailedError` /
+    :class:`~repro.errors.TrialTimeoutError` carrying the full attempt
+    history.  Sweeps that should degrade gracefully instead go through
+    :func:`run_sweep`.
     """
     items = list(items)
     jobs = resolve_jobs(jobs, len(items))
-    if jobs == 1 or len(items) <= 1:
-        return [fn(item) for item in items]
-    with ProcessPoolExecutor(max_workers=jobs) as pool:
-        return list(pool.map(fn, items))
+    outcome = supervised_map(fn, items, jobs, policy=policy, keys=keys, fail_fast=True)
+    return outcome.results
 
 
 # ----------------------------------------------------------------------
@@ -202,10 +227,97 @@ def _execute_spec(spec_dict: Dict[str, Any]) -> Any:
     return result
 
 
+def run_sweep(
+    specs: Iterable[Any],
+    jobs: Union[int, str, None] = None,
+    store_dir: Optional[str] = None,
+    resume: bool = False,
+    policy: Optional[RetryPolicy] = None,
+    fail_fast: bool = False,
+) -> SweepOutcome:
+    """Execute specs under supervision; the full-fidelity sweep entry point.
+
+    Returns a :class:`~repro.resilience.SweepOutcome`: ordered per-spec
+    results, quarantined :class:`~repro.resilience.TrialFailure` entries
+    for trials that exhausted their retry budget (``fail_fast=True``
+    instead raises the typed error on the first quarantine), and a
+    JSON-serialisable failure report (:meth:`SweepOutcome.report`).
+
+    When an artifact store is configured (``store_dir`` or
+    ``REPRO_STORE_DIR``), every finished trial is **journaled** into it as
+    it completes, keyed by ``RunSpec.store_key()`` under a sweep key hashed
+    from the ordered trial list.  ``resume=True`` replays those journal
+    entries — finished trials are skipped, and because each trial is
+    bitwise-reproducible from its spec, the resumed sweep's results equal
+    an uninterrupted run's bit for bit (``SweepOutcome.resumed`` counts the
+    replayed trials).  Corrupt journal entries are quarantined by the store
+    and simply re-run.  After a journaled sweep, the store is
+    garbage-collected when ``REPRO_STORE_MAX_BYTES`` sets a budget.
+    """
+    from repro.resilience.journal import open_journal
+    from repro.store import active_store, store_env
+
+    spec_dicts = [_normalise_spec(spec) for spec in specs]
+    with store_env(store_dir):
+        store = active_store()
+        journal = open_journal(store, [_spec_key(d) for d in spec_dicts])
+        completed: Dict[int, Any] = {}
+        if journal is not None and resume:
+            completed = journal.load()
+        remaining = [i for i in range(len(spec_dicts)) if i not in completed]
+
+        on_result: Optional[Callable[[int, Any], None]] = None
+        if journal is not None:
+            def on_result(sub_index: int, value: Any) -> None:
+                journal.record(remaining[sub_index], value)
+
+        resolved = resolve_jobs(jobs, len(remaining))
+        outcome = supervised_map(
+            _execute_spec,
+            [spec_dicts[i] for i in remaining],
+            resolved,
+            policy=policy,
+            keys=[journal.trial_keys[i] for i in remaining]
+            if journal is not None
+            else [_spec_key(spec_dicts[i]) for i in remaining],
+            fail_fast=fail_fast,
+            on_result=on_result,
+        )
+
+        results: List[Any] = [None] * len(spec_dicts)
+        for index, value in completed.items():
+            results[index] = value
+        for sub_index, index in enumerate(remaining):
+            slot = outcome.results[sub_index]
+            if isinstance(slot, TrialFailure):
+                slot.index = index  # re-anchor to the caller's spec order
+            results[index] = slot
+
+        if store is not None and repro_env.env_int(repro_env.STORE_MAX_BYTES_ENV, 0) > 0:
+            store.gc()
+
+    return SweepOutcome(
+        results=results,
+        failures=sorted(outcome.failures, key=lambda failure: failure.index),
+        resumed=len(completed),
+        policy=outcome.policy,
+    )
+
+
+def _spec_key(spec_dict: Dict[str, Any]) -> str:
+    """The trial's store identity — the same key warm starts use."""
+    from repro.store.keys import run_key
+
+    return run_key(spec_dict)
+
+
 def run_trials(
     specs: Iterable[Any],
     jobs: Union[int, str, None] = None,
     store_dir: Optional[str] = None,
+    resume: bool = False,
+    policy: Optional[RetryPolicy] = None,
+    fail_fast: bool = False,
 ) -> List[Any]:
     """Execute specs (RunSpec / dict / JSON) and return results in order.
 
@@ -215,12 +327,22 @@ def run_trials(
     for the duration of the sweep — pool workers inherit the environment,
     so every trial consults the same pretraining cache
     (``RunResult.extra['pretrain_cache']`` records the hit/miss per trial).
-    """
-    from repro.store import store_env
 
-    spec_dicts = [_normalise_spec(spec) for spec in specs]
-    with store_env(store_dir):
-        return parallel_map(_execute_spec, spec_dicts, jobs=jobs)
+    This is :func:`run_sweep` returning just the ordered result list: by
+    default the sweep degrades gracefully, leaving a
+    :class:`~repro.resilience.TrialFailure` in the slot of any trial that
+    exhausted its retries (``fail_fast=True`` raises instead); with a store
+    configured, completions are journaled and ``resume=True`` skips trials
+    a previous interrupted sweep already finished.
+    """
+    return run_sweep(
+        specs,
+        jobs=jobs,
+        store_dir=store_dir,
+        resume=resume,
+        policy=policy,
+        fail_fast=fail_fast,
+    ).results
 
 
 def run_seeded(
@@ -228,6 +350,9 @@ def run_seeded(
     seeds: Sequence[int],
     jobs: Union[int, str, None] = None,
     store_dir: Optional[str] = None,
+    resume: bool = False,
+    policy: Optional[RetryPolicy] = None,
+    fail_fast: bool = False,
 ) -> List[Any]:
     """Run one spec once per seed (in ``seeds`` order), optionally pooled."""
     base = _normalise_spec(spec)
@@ -236,4 +361,11 @@ def run_seeded(
         spec_dict = copy.deepcopy(base)
         spec_dict["seed"] = int(seed)
         expanded.append(spec_dict)
-    return run_trials(expanded, jobs=jobs, store_dir=store_dir)
+    return run_trials(
+        expanded,
+        jobs=jobs,
+        store_dir=store_dir,
+        resume=resume,
+        policy=policy,
+        fail_fast=fail_fast,
+    )

@@ -28,6 +28,7 @@ and ``repro-run --warm-start / --save-to / --from-checkpoint``.
 """
 
 from repro.errors import (
+    ArtifactCorruptError,
     ArtifactNotFoundError,
     SnapshotMismatchError,
     SnapshotSchemaError,
@@ -49,6 +50,7 @@ from repro.store.pretrain_cache import (
 from repro.store.snapshot import FORMAT_NAME, SCHEMA_VERSION, Snapshot
 from repro.store.store import (
     DEFAULT_STORE_DIR,
+    QUARANTINE_DIR,
     STORE_DIR_ENV,
     ArtifactStore,
     active_store,
@@ -56,9 +58,11 @@ from repro.store.store import (
 )
 
 __all__ = [
+    "ArtifactCorruptError",
     "ArtifactNotFoundError",
     "ArtifactStore",
     "DEFAULT_STORE_DIR",
+    "QUARANTINE_DIR",
     "FORMAT_NAME",
     "SCHEMA_VERSION",
     "STORE_DIR_ENV",

@@ -18,8 +18,14 @@ robustness-sweep graphs never alias the clean dataset they came from.
 from __future__ import annotations
 
 import time
+import warnings
 from typing import Any, Dict, Optional
 
+from repro.errors import (
+    ArtifactCorruptError,
+    SnapshotMismatchError,
+    SnapshotSchemaError,
+)
 from repro.store.keys import graph_fingerprint, pretrain_key
 from repro.store.snapshot import Snapshot
 from repro.store.store import ArtifactStore, active_store
@@ -68,10 +74,18 @@ def warm_pretrain(
 ) -> Dict[str, Any]:
     """Pretrain ``model`` on ``graph``, served from ``store`` when possible.
 
-    Returns a stats dict (``enabled`` / ``hit`` / ``key`` / ``seconds``)
-    that callers surface in ``RunResult.extra['pretrain_cache']``.  With no
+    Returns a stats dict (``enabled`` / ``hit`` / ``key`` / ``seconds``,
+    plus ``degraded`` / ``degraded_reason`` when recovery kicked in) that
+    callers surface in ``RunResult.extra['pretrain_cache']``.  With no
     store (explicit or :func:`~repro.store.store.active_store`), this is
     exactly ``model.pretrain(...)``.
+
+    A corrupt artifact (checksum mismatch, truncated pickle — already
+    quarantined by the store), a stale schema version, or a snapshot that
+    no longer fits the model **degrades to cold pretraining**: the trial
+    still runs, a warning records why, and the fresh result replaces the
+    bad artifact.  Warm starting is an optimisation; it must never be able
+    to fail a sweep.
     """
     store = store if store is not None else active_store()
     start = time.perf_counter()
@@ -84,14 +98,30 @@ def warm_pretrain(
     key = pretrain_cache_key(
         model, pretrain_epochs, dataset=dataset, graph=graph, config=config
     )
-    snapshot = store.get(key, default=None)
+    degraded_reason = None
+    try:
+        snapshot = store.get(key, default=None)
+    except (ArtifactCorruptError, SnapshotSchemaError) as error:
+        degraded_reason = f"{type(error).__name__}: {error}"
+        snapshot = None
     if snapshot is not None:
-        # restore_rng=True: the snapshot's RNG state is the post-pretraining
-        # stream, so the clustering phase consumes exactly the noise a cold
-        # run would.
-        snapshot.apply(model, restore_rng=True)
-        hit = True
-    else:
+        try:
+            # restore_rng=True: the snapshot's RNG state is the
+            # post-pretraining stream, so the clustering phase consumes
+            # exactly the noise a cold run would.
+            snapshot.apply(model, restore_rng=True)
+            hit = True
+        except (SnapshotMismatchError, SnapshotSchemaError) as error:
+            degraded_reason = f"{type(error).__name__}: {error}"
+            snapshot = None
+    if snapshot is None:
+        if degraded_reason is not None:
+            warnings.warn(
+                f"warm start for key {key[:12]}… degraded to cold "
+                f"pretraining ({degraded_reason})",
+                RuntimeWarning,
+                stacklevel=2,
+            )
         model.pretrain(graph, epochs=pretrain_epochs, verbose=verbose)
         snapshot = Snapshot.capture(
             model,
@@ -102,10 +132,14 @@ def warm_pretrain(
         )
         store.put(key, snapshot)
         hit = False
-    return {
+    stats = {
         "enabled": True,
         "hit": hit,
         "key": key,
         "store": store.root,
         "seconds": time.perf_counter() - start,
     }
+    if degraded_reason is not None:
+        stats["degraded"] = True
+        stats["degraded_reason"] = degraded_reason
+    return stats

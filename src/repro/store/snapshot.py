@@ -31,7 +31,11 @@ from typing import Any, Dict, Optional
 
 import numpy as np
 
-from repro.errors import SnapshotMismatchError, SnapshotSchemaError
+from repro.errors import (
+    ArtifactCorruptError,
+    SnapshotMismatchError,
+    SnapshotSchemaError,
+)
 
 #: bump when the payload layout changes incompatibly.
 SCHEMA_VERSION = 1
@@ -207,19 +211,33 @@ class Snapshot:
         return path
 
     @classmethod
-    def load(cls, path: str) -> "Snapshot":
-        """Read a snapshot written by :meth:`save`.
+    def from_bytes(cls, data: bytes, path: str = "<bytes>") -> "Snapshot":
+        """Decode snapshot bytes; corruption and schema drift raise typed.
 
-        Anything that is not a well-formed snapshot of the supported schema
-        version raises :class:`SnapshotSchemaError`.
+        Pickle-level failures (truncation, garbage, torn writes) raise
+        :class:`~repro.errors.ArtifactCorruptError` carrying ``path``; a
+        payload that unpickles fine but is not a supported snapshot (wrong
+        format tag, stale schema version) raises
+        :class:`SnapshotSchemaError` — schema drift is a versioning
+        problem, not file damage, so it is never quarantined.
         """
         try:
-            with open(path, "rb") as stream:
-                payload = pickle.load(stream)
-        except FileNotFoundError:
-            raise
-        except (pickle.UnpicklingError, EOFError, AttributeError, ValueError) as error:
-            raise SnapshotSchemaError(
-                f"cannot read snapshot {path!r}: {error}"
+            payload = pickle.loads(data)
+        except (
+            pickle.UnpicklingError,
+            EOFError,
+            AttributeError,
+            ValueError,
+            IndexError,
+        ) as error:
+            raise ArtifactCorruptError(
+                path, f"snapshot cannot be unpickled: {error}"
             ) from error
         return cls.from_payload(payload)
+
+    @classmethod
+    def load(cls, path: str) -> "Snapshot":
+        """Read a snapshot written by :meth:`save` (see :meth:`from_bytes`)."""
+        with open(path, "rb") as stream:
+            data = stream.read()
+        return cls.from_bytes(data, path)

@@ -6,8 +6,11 @@ under one root directory:
 
 * ``<root>/objects/<key[:2]>/<key>.snap`` — the pickled snapshot payload,
 * ``<root>/objects/<key[:2]>/<key>.json`` — a small human-readable manifest
-  (model class, phase, epoch, schema version, the producing spec) so a
-  store can be inspected with ``cat`` and ``ls``.
+  (model class, phase, epoch, schema version, the producing spec, and the
+  payload's SHA-256) so a store can be inspected with ``cat`` and ``ls``,
+* ``<root>/<category>/<name>.pkl`` (+ ``.sha256`` sidecar) — generic blob
+  payloads, used by sweep journals (:mod:`repro.resilience.journal`),
+* ``<root>/quarantine/`` — where corrupt objects are moved, never served.
 
 The root comes from the ``REPRO_STORE_DIR`` environment variable by
 default; :func:`active_store` returns ``None`` when that variable is unset,
@@ -15,17 +18,38 @@ which is how the warm-start machinery stays a no-op until a store is
 configured.  Writes are atomic (tmp file + rename), so concurrent sweep
 workers racing to populate the same key simply last-write-win with
 identical bytes.
+
+**Integrity.** Every write records the payload's SHA-256 (in the manifest
+for snapshots, in a sidecar for blobs) and every read verifies it before
+unpickling; a mismatch — truncated file, flipped bits, torn write — moves
+the object into ``quarantine/`` and raises the typed
+:class:`~repro.errors.ArtifactCorruptError` carrying the offending path.
+Corrupt artifacts are therefore *detected at the boundary*, counted in
+:meth:`ArtifactStore.stats`, and can never silently poison a warm start or
+a resumed sweep.
+
+**Eviction.** Sweeps grow a store without bound; :meth:`ArtifactStore.gc`
+(CLI: ``repro-run store-gc``, budget: ``REPRO_STORE_MAX_BYTES``) evicts
+least-recently-used artifacts — reads touch mtimes — until the store fits
+its byte budget.  Quarantined files are exempt: they are evidence.
 """
 
 from __future__ import annotations
 
 import contextlib
+import hashlib
 import json
 import os
-from typing import Any, Dict, Iterator, List, Optional
+import pickle
+import tempfile
+from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from repro import env as repro_env
-from repro.errors import ArtifactNotFoundError, StoreError
+from repro.errors import (
+    ArtifactCorruptError,
+    ArtifactNotFoundError,
+    StoreError,
+)
 from repro.store.snapshot import Snapshot
 
 #: environment variable naming the store root (unset disables warm starts).
@@ -33,6 +57,8 @@ from repro.store.snapshot import Snapshot
 STORE_DIR_ENV = repro_env.STORE_DIR_ENV
 #: directory used when warm starts are requested without an explicit root.
 DEFAULT_STORE_DIR = ".repro-store"
+#: subdirectory corrupt artifacts are moved into (never read back).
+QUARANTINE_DIR = "quarantine"
 
 _MISSING = object()
 
@@ -47,6 +73,40 @@ def _check_key(key: str) -> str:
     return key
 
 
+def _check_blob_part(part: str, what: str) -> str:
+    if not isinstance(part, str) or not part or not all(
+        c.isalnum() or c in "._-" for c in part
+    ):
+        raise StoreError(
+            f"blob {what} must be non-empty [A-Za-z0-9._-] text, got {part!r}"
+        )
+    if part.startswith("."):
+        raise StoreError(f"blob {what} must not start with '.', got {part!r}")
+    return part
+
+
+def _sha256_file(path: str) -> str:
+    digest = hashlib.sha256()
+    with open(path, "rb") as stream:
+        for chunk in iter(lambda: stream.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+def _atomic_write_bytes(path: str, data: bytes) -> None:
+    directory = os.path.dirname(os.path.abspath(path)) or "."
+    os.makedirs(directory, exist_ok=True)
+    handle, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(handle, "wb") as stream:
+            stream.write(data)
+        os.replace(tmp_path, path)
+    except BaseException:
+        if os.path.exists(tmp_path):
+            os.unlink(tmp_path)
+        raise
+
+
 class ArtifactStore:
     """Content-addressed snapshot store rooted at one directory."""
 
@@ -54,7 +114,12 @@ class ArtifactStore:
         if root is None:
             root = repro_env.env_str(STORE_DIR_ENV, DEFAULT_STORE_DIR)
         self.root = str(root)
-        self._stats: Dict[str, int] = {"hits": 0, "misses": 0, "puts": 0}
+        self._stats: Dict[str, int] = {
+            "hits": 0,
+            "misses": 0,
+            "puts": 0,
+            "corrupt": 0,
+        }
 
     # ------------------------------------------------------------------
     # paths
@@ -66,8 +131,49 @@ class ArtifactStore:
     def _manifest_path(self, key: str) -> str:
         return self._object_path(key)[: -len(".snap")] + ".json"
 
+    def _blob_path(self, category: str, name: str) -> str:
+        parts = [_check_blob_part(part, "category") for part in str(category).split("/")]
+        if QUARANTINE_DIR in parts or parts[0] == "objects":
+            raise StoreError(
+                f"blob category {category!r} collides with a reserved store area"
+            )
+        return os.path.join(self.root, *parts, f"{_check_blob_part(name, 'name')}.pkl")
+
+    def _quarantine_path(self) -> str:
+        return os.path.join(self.root, QUARANTINE_DIR)
+
     # ------------------------------------------------------------------
-    # mapping operations
+    # quarantine
+    # ------------------------------------------------------------------
+    def quarantine(self, *paths: str) -> List[str]:
+        """Move files out of service into ``quarantine/`` (kept as evidence).
+
+        Returns the destination paths; missing sources are skipped.  Called
+        on every integrity failure before the typed error is raised, so a
+        corrupt object can fail at most one read.
+        """
+        destination_dir = self._quarantine_path()
+        os.makedirs(destination_dir, exist_ok=True)
+        moved: List[str] = []
+        for path in paths:
+            if not os.path.exists(path):
+                continue
+            destination = os.path.join(destination_dir, os.path.basename(path))
+            os.replace(path, destination)
+            moved.append(destination)
+        if moved:
+            self._stats["corrupt"] += 1
+        return moved
+
+    def quarantined(self) -> List[str]:
+        """Basenames currently sitting in the quarantine area (sorted)."""
+        directory = self._quarantine_path()
+        if not os.path.isdir(directory):
+            return []
+        return sorted(os.listdir(directory))
+
+    # ------------------------------------------------------------------
+    # snapshot mapping operations
     # ------------------------------------------------------------------
     def contains(self, key: str) -> bool:
         return os.path.exists(self._object_path(key))
@@ -75,15 +181,28 @@ class ArtifactStore:
     __contains__ = contains
 
     def put(self, key: str, snapshot: Snapshot) -> str:
-        """Store ``snapshot`` under ``key``; returns the object path."""
+        """Store ``snapshot`` under ``key``; returns the object path.
+
+        The manifest records the payload's SHA-256, which :meth:`get`
+        verifies on every read.  The write itself is a fault-injection
+        choke point (``store_corrupt``), so chaos plans can exercise the
+        torn-write recovery path deterministically.
+        """
         if not isinstance(snapshot, Snapshot):
             raise StoreError(
                 f"ArtifactStore stores Snapshot objects, got {type(snapshot).__name__}"
             )
+        from repro.resilience.faults import corrupt_file
+
         path = self._object_path(key)
         snapshot.save(path)
+        sha256 = _sha256_file(path)
+        # after the digest: an injected torn write must be *detected* by the
+        # checksum verification, exactly like real post-write corruption
+        corrupt_file("store_write", key, path)
         manifest = {
             "key": key,
+            "sha256": sha256,
             "schema_version": snapshot.schema_version,
             "model_class": snapshot.model_class,
             "phase": snapshot.phase,
@@ -100,11 +219,30 @@ class ArtifactStore:
         self._stats["puts"] += 1
         return path
 
+    def _expected_sha(self, key: str) -> Optional[str]:
+        """The manifest-recorded payload digest (None for legacy manifests)."""
+        manifest_path = self._manifest_path(key)
+        if not os.path.exists(manifest_path):
+            return None
+        try:
+            with open(manifest_path, "r", encoding="utf-8") as stream:
+                manifest = json.load(stream)
+        except (OSError, json.JSONDecodeError):
+            # an unreadable manifest only disables verification; the
+            # object itself may still be intact
+            return None
+        value = manifest.get("sha256")
+        return str(value) if value else None
+
     def get(self, key: str, default: Any = _MISSING) -> Snapshot:
-        """Load the snapshot stored under ``key``.
+        """Load the snapshot stored under ``key``, integrity-checked.
 
         A miss raises :class:`~repro.errors.ArtifactNotFoundError` unless a
-        ``default`` is given.  Hit/miss counters feed the cache statistics
+        ``default`` is given.  A checksum mismatch or unreadable payload
+        quarantines the object and raises
+        :class:`~repro.errors.ArtifactCorruptError` with the offending
+        path.  Successful reads touch the object's mtime (the LRU signal
+        :meth:`gc` evicts by).  Hit/miss counters feed the cache statistics
         surfaced in ``RunResult.extra``.
         """
         path = self._object_path(key)
@@ -113,7 +251,23 @@ class ArtifactStore:
             if default is _MISSING:
                 raise ArtifactNotFoundError(key, self.root)
             return default
-        snapshot = Snapshot.load(path)
+        expected = self._expected_sha(key)
+        if expected is not None:
+            actual = _sha256_file(path)
+            if actual != expected:
+                self.quarantine(path, self._manifest_path(key))
+                raise ArtifactCorruptError(
+                    path,
+                    f"payload SHA-256 {actual[:12]}… does not match the "
+                    f"manifest's {expected[:12]}… (truncated or torn write); "
+                    f"object quarantined",
+                )
+        try:
+            snapshot = Snapshot.load(path)
+        except ArtifactCorruptError:
+            self.quarantine(path, self._manifest_path(key))
+            raise
+        os.utime(path)
         self._stats["hits"] += 1
         return snapshot
 
@@ -153,7 +307,7 @@ class ArtifactStore:
         return len(self.keys())
 
     def stats(self) -> Dict[str, Any]:
-        """Hit/miss/put counters of *this* store handle, plus identity."""
+        """Hit/miss/put/corrupt counters of *this* store handle, plus identity."""
         return {**self._stats, "root": self.root, "entries": len(self), "pid": os.getpid()}
 
     def clear(self) -> int:
@@ -162,6 +316,167 @@ class ArtifactStore:
         for key in keys:
             self.delete(key)
         return len(keys)
+
+    # ------------------------------------------------------------------
+    # generic blob payloads (journals and friends)
+    # ------------------------------------------------------------------
+    def put_blob(self, category: str, name: str, value: Any) -> str:
+        """Pickle ``value`` under ``<category>/<name>``, checksummed.
+
+        Atomic write plus a SHA-256 sidecar; like :meth:`put`, the write is
+        a ``store_corrupt`` fault choke point.  Returns the written path.
+        """
+        from repro.resilience.faults import corrupt_file
+
+        path = self._blob_path(category, name)
+        data = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        _atomic_write_bytes(path, data)
+        sha256 = _sha256_file(path)
+        corrupt_file("store_write", f"{category}/{name}", path)
+        _atomic_write_bytes(path + ".sha256", sha256.encode("ascii"))
+        self._stats["puts"] += 1
+        return path
+
+    def get_blob(self, category: str, name: str, default: Any = _MISSING) -> Any:
+        """Load a blob, verifying its checksum before unpickling.
+
+        Corrupt blobs (checksum mismatch, missing sidecar, unpicklable
+        payload) are quarantined and raise
+        :class:`~repro.errors.ArtifactCorruptError` with the path.
+        """
+        path = self._blob_path(category, name)
+        if not os.path.exists(path):
+            self._stats["misses"] += 1
+            if default is _MISSING:
+                raise ArtifactNotFoundError(f"{category}/{name}", self.root)
+            return default
+        sidecar = path + ".sha256"
+        expected = None
+        if os.path.exists(sidecar):
+            with open(sidecar, "r", encoding="ascii") as stream:
+                expected = stream.read().strip()
+        actual = _sha256_file(path)
+        if expected is None or actual != expected:
+            self.quarantine(path, sidecar)
+            raise ArtifactCorruptError(
+                path,
+                "blob has no checksum sidecar (torn write)"
+                if expected is None
+                else f"blob SHA-256 {actual[:12]}… does not match the "
+                f"recorded {expected[:12]}…; blob quarantined",
+            )
+        with open(path, "rb") as stream:
+            data = stream.read()
+        try:
+            value = pickle.loads(data)
+        except (pickle.UnpicklingError, EOFError, AttributeError, ValueError, IndexError) as error:
+            self.quarantine(path, sidecar)
+            raise ArtifactCorruptError(
+                path, f"blob cannot be unpickled: {error}"
+            ) from error
+        os.utime(path)
+        self._stats["hits"] += 1
+        return value
+
+    def blob_names(self, category: str) -> List[str]:
+        """Names stored under a blob category (sorted)."""
+        directory = os.path.dirname(self._blob_path(category, "probe"))
+        if not os.path.isdir(directory):
+            return []
+        return sorted(
+            name[: -len(".pkl")]
+            for name in os.listdir(directory)
+            if name.endswith(".pkl")
+        )
+
+    def delete_blob(self, category: str, name: str) -> bool:
+        """Remove one blob (and its sidecar); returns whether it existed."""
+        path = self._blob_path(category, name)
+        removed = False
+        for target in (path, path + ".sha256"):
+            if os.path.exists(target):
+                os.unlink(target)
+                removed = True
+        return removed
+
+    # ------------------------------------------------------------------
+    # garbage collection
+    # ------------------------------------------------------------------
+    def _gc_entries(self) -> List[Tuple[float, int, List[str]]]:
+        """Evictable units: ``(mtime, bytes, paths)`` — primary + sidecars.
+
+        Snapshots pair with their manifest, blobs with their checksum
+        sidecar, so eviction never leaves half an artifact behind.
+        Quarantined files and in-flight ``.tmp`` files are exempt.
+        """
+        entries: List[Tuple[float, int, List[str]]] = []
+        for dirpath, dirnames, filenames in os.walk(self.root):
+            if os.path.relpath(dirpath, self.root).split(os.sep)[0] == QUARANTINE_DIR:
+                dirnames[:] = []
+                continue
+            names = set(filenames)
+            for name in sorted(names):
+                path = os.path.join(dirpath, name)
+                if name.endswith(".snap"):
+                    group = [path]
+                    manifest = name[: -len(".snap")] + ".json"
+                    if manifest in names:
+                        group.append(os.path.join(dirpath, manifest))
+                elif name.endswith(".pkl"):
+                    group = [path]
+                    if name + ".sha256" in names:
+                        group.append(path + ".sha256")
+                else:
+                    continue
+                try:
+                    mtime = os.path.getmtime(path)
+                    size = sum(os.path.getsize(member) for member in group)
+                except FileNotFoundError:
+                    continue  # raced with a concurrent delete; skip
+                entries.append((mtime, size, group))
+        return entries
+
+    def total_bytes(self) -> int:
+        """Reclaimable bytes currently stored (quarantine excluded)."""
+        return sum(size for _, size, _ in self._gc_entries())
+
+    def gc(self, max_bytes: Optional[int] = None) -> Dict[str, Any]:
+        """Evict least-recently-used artifacts until the store fits.
+
+        ``max_bytes`` defaults to ``REPRO_STORE_MAX_BYTES``; a budget of 0
+        (or unset) disables eviction.  Reads touch mtimes, so "least
+        recently used" tracks actual access, not just creation.  Returns a
+        stats dict (``scanned_bytes`` / ``evicted`` / ``freed_bytes`` /
+        ``remaining_bytes`` / ``max_bytes``).
+        """
+        if max_bytes is None:
+            max_bytes = repro_env.env_int(repro_env.STORE_MAX_BYTES_ENV, 0)
+        max_bytes = int(max_bytes)
+        if max_bytes < 0:
+            raise StoreError(f"gc budget must be >= 0 bytes, got {max_bytes}")
+        entries = sorted(self._gc_entries(), key=lambda entry: (entry[0], entry[2]))
+        total = sum(size for _, size, _ in entries)
+        stats: Dict[str, Any] = {
+            "scanned_bytes": total,
+            "evicted": 0,
+            "freed_bytes": 0,
+            "remaining_bytes": total,
+            "max_bytes": max_bytes,
+        }
+        if max_bytes == 0:
+            return stats
+        remaining = total
+        for _, size, group in entries:
+            if remaining <= max_bytes:
+                break
+            for member in group:
+                if os.path.exists(member):
+                    os.unlink(member)
+            remaining -= size
+            stats["evicted"] += 1
+            stats["freed_bytes"] += size
+        stats["remaining_bytes"] = remaining
+        return stats
 
 
 def active_store() -> Optional[ArtifactStore]:

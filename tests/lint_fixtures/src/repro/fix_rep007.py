@@ -1,0 +1,38 @@
+"""REP007 fixture: swallowed exceptions in library code."""
+
+from repro.errors import ArtifactCorruptError, StoreError
+
+
+def violations(fn):
+    try:
+        return fn()
+    except:  # flagged: bare except eats KeyboardInterrupt too
+        return None
+
+
+def violations_silent_catchall(fn):
+    try:
+        return fn()
+    except Exception:  # flagged: silently swallows every failure
+        pass
+    try:
+        return fn()
+    except (ValueError, BaseException):  # flagged: catch-all hidden in a tuple
+        ...
+
+
+def suppressed(fn):
+    try:
+        return fn()
+    except Exception:  # repro: noqa[REP007] fixture: waiver syntax under test
+        pass
+
+
+def compliant(fn, fallback):
+    try:
+        return fn()
+    except ArtifactCorruptError:
+        return fallback  # specific type, deliberate degrade
+    except Exception as error:
+        # catch-all is fine when the failure is handled, not hidden
+        raise StoreError(f"fn failed: {error}") from error

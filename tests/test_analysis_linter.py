@@ -1,4 +1,4 @@
-"""Self-tests for the ``repro-lint`` rule engine and the REP001–REP006 rules.
+"""Self-tests for the ``repro-lint`` rule engine and the REP001–REP007 rules.
 
 Each rule is pinned against a fixture file under ``tests/lint_fixtures/``
 containing a violating, a suppressed and a compliant variant of the same
@@ -49,7 +49,7 @@ def test_module_name_derivation():
 def test_all_rules_registered_with_metadata():
     diagnostics = lint_source("x = 1\n")  # forces rule registration
     assert diagnostics == []
-    expected = {"REP001", "REP002", "REP003", "REP004", "REP005", "REP006"}
+    expected = {"REP001", "REP002", "REP003", "REP004", "REP005", "REP006", "REP007"}
     assert expected.issubset(set(RULES.names()))
     for code in expected:
         entry = RULES.entry(code)
@@ -161,6 +161,24 @@ def test_rep006_bare_assert_and_raise():
     assert codes_and_lines(diagnostics) == [("REP006", 7), ("REP006", 9)]
 
 
+def test_rep007_swallowed_exceptions():
+    diagnostics = lint_file(fixture("src", "repro", "fix_rep007.py"))
+    assert codes_and_lines(diagnostics) == [("REP007", 9), ("REP007", 16), ("REP007", 20)]
+    assert "KeyboardInterrupt" in diagnostics[0].message
+    assert "swallows" in diagnostics[1].message
+
+
+def test_rep007_allows_handled_catchalls():
+    source = (
+        "def f(fn):\n"
+        "    try:\n"
+        "        return fn()\n"
+        "    except Exception as error:\n"
+        "        raise RuntimeError('wrapped') from error\n"
+    )
+    assert lint_source(source, module="repro.something") == []
+
+
 def test_library_scoped_rules_skip_scripts():
     assert lint_file(fixture("scripts", "fix_outside_library.py")) == []
 
@@ -174,7 +192,7 @@ def test_lint_paths_report_counts():
     assert report.error_count == len([d for d in report.diagnostics if d.severity == "error"])
     assert report.exit_code == 1
     summary = report.summary()
-    for code in ("REP001", "REP002", "REP003", "REP004", "REP005", "REP006"):
+    for code in ("REP001", "REP002", "REP003", "REP004", "REP005", "REP006", "REP007"):
         assert summary.get(code), f"expected {code} findings in the fixture tree"
 
 
@@ -221,7 +239,7 @@ def test_cli_usage_errors(capsys):
 def test_cli_list_rules(capsys):
     assert lint_main(["--list-rules"]) == 0
     out = capsys.readouterr().out
-    for code in ("REP001", "REP002", "REP003", "REP004", "REP005", "REP006"):
+    for code in ("REP001", "REP002", "REP003", "REP004", "REP005", "REP006", "REP007"):
         assert code in out
 
 

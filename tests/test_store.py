@@ -11,6 +11,7 @@ import numpy as np
 import pytest
 
 from repro.errors import (
+    ArtifactCorruptError,
     ArtifactNotFoundError,
     SnapshotMismatchError,
     SnapshotSchemaError,
@@ -278,7 +279,7 @@ class TestSnapshot:
 
         garbage = tmp_path / "garbage.snap"
         garbage.write_bytes(b"not a snapshot")
-        with pytest.raises(SnapshotSchemaError):
+        with pytest.raises(ArtifactCorruptError, match="garbage.snap"):
             Snapshot.load(str(garbage))
 
         stale = snapshot.to_payload()
