@@ -23,6 +23,28 @@ from repro.experiments import ExperimentConfig, learning_dynamics_study, run_mod
 from repro.experiments.runner import PairResult
 from repro.models.registry import MODELS
 
+# Every bench script writes its timing JSON through this envelope so the
+# regression tooling sees one schema ("repro-metrics/1") regardless of which
+# benchmark produced the artifact.  Re-exported here so the scripts need only
+# their local ``_shared`` import.
+from repro.observability.metrics import metrics_report as unified_report
+
+__all__ = [
+    "BENCH_CONFIG",
+    "SWEEP_CONFIG",
+    "CITATION_DATASETS",
+    "AIR_TRAFFIC_DATASETS",
+    "ALL_MODELS",
+    "SECOND_GROUP_MODELS",
+    "air_traffic_rows",
+    "bench_jobs",
+    "cached_dynamics",
+    "cached_graph",
+    "cached_pair",
+    "citation_rows",
+    "unified_report",
+]
+
 
 def bench_jobs():
     """Process-pool width for the multi-seed table benchmarks.

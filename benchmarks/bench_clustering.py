@@ -49,6 +49,9 @@ from repro.clustering.gmm import GaussianMixture, _logsumexp
 from repro.clustering.kmeans import KMeans, _pairwise_sq_distances
 from repro.core.graph_transform import build_clustering_oriented_graph
 from repro.graph.sparse import SparseAdjacency
+from repro.observability.metrics import metrics_report as unified_report
+from repro.observability.tracer import span as _span
+from repro.observability.tracer import tracing_session
 
 #: (name, target speedup) — ``--smoke`` enforces half of each target.
 TARGETS = {
@@ -57,6 +60,10 @@ TARGETS = {
     "upsilon_transform": 4.0,
 }
 TRIALS_TARGET = 2.5
+#: ceiling on the modelled cost of disabled tracing, as a fraction of the
+#: wall time of an instrumented clustering refresh (the observability layer
+#: must be free when off).
+TRACING_OVERHEAD_TARGET = 0.01
 
 
 # ----------------------------------------------------------------------
@@ -352,6 +359,59 @@ def bench_trials(jobs: int, seed: int) -> Dict:
     }
 
 
+def _count_spans(node: Dict) -> int:
+    return 1 + sum(_count_spans(child) for child in node.get("children", ()))
+
+
+def bench_tracing_overhead(repeats: int, seed: int) -> Dict:
+    """Price the disabled observability path against the clustering refresh.
+
+    A disabled ``span()`` call is one module-global load, an is-None test and
+    a shared no-op singleton; this row measures that per-call cost, counts
+    how many spans one instrumented clustering refresh (k-means + GMM + Υ)
+    actually emits, and reports the modelled worst-case overhead as a
+    fraction of the refresh's untraced wall time.  The gate fails above
+    ``TRACING_OVERHEAD_TARGET`` (1%).
+    """
+    calls = 200_000
+    with tracing_session(enabled=False):
+        start = time.perf_counter()
+        for _ in range(calls):
+            with _span("bench.noop"):
+                pass
+        disabled_span_seconds = (time.perf_counter() - start) / calls
+
+    n, dim, num_clusters, avg_degree = 800, 16, 10, 12
+    data = clustered_data(n, dim, num_clusters, seed)
+    rng = np.random.default_rng(seed)
+    dense = random_graph(n, avg_degree, seed)
+    sparse = SparseAdjacency.from_dense(dense)
+    labels = rng.integers(0, num_clusters, n)
+    assignments = np.eye(num_clusters)[labels]
+    embeddings = rng.standard_normal((n, dim)) + labels[:, None]
+    reliable = rng.choice(n, int(0.9 * n), replace=False)
+
+    def refresh():
+        KMeans(num_clusters, num_init=4, max_iter=10, tol=0.0, seed=seed).fit(data)
+        GaussianMixture(num_clusters, max_iter=5, tol=0.0, seed=seed).fit(data)
+        build_clustering_oriented_graph(sparse, assignments, reliable, embeddings)
+
+    with tracing_session(enabled=False):
+        kernel_seconds = measure(refresh, repeats)
+    with tracing_session(enabled=True) as tracer:
+        refresh()
+        span_count = sum(_count_spans(root) for root in tracer.export())
+
+    return {
+        "workload": {"n": n, "dim": dim, "clusters": num_clusters, "noop_calls": calls},
+        "disabled_span_seconds": disabled_span_seconds,
+        "span_count": span_count,
+        "kernel_seconds": kernel_seconds,
+        "overhead_fraction": disabled_span_seconds * span_count / kernel_seconds,
+        "target_fraction": TRACING_OVERHEAD_TARGET,
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--smoke", action="store_true", help="fast CI run with halved thresholds")
@@ -383,7 +443,7 @@ def main(argv=None) -> int:
         "gmm_fit": lambda: bench_gmm(repeats, args.seed),
         "upsilon_transform": lambda: bench_upsilon(repeats, args.seed),
     }
-    report = {"benchmark": "bench_clustering", "repeats": repeats, "results": {}}
+    report = unified_report("bench_clustering", {}, repeats=repeats, seed=args.seed)
     print(f"{'kernel':>22} {'loop':>10} {'vectorised':>11} {'speedup':>8} {'target':>7}")
     failures = []
     for name, bench in benches.items():
@@ -428,6 +488,21 @@ def main(argv=None) -> int:
                 f"  (speedup not enforced: {os.cpu_count()} cores < "
                 f"{args.trials_jobs} jobs)"
             )
+
+    row = bench_tracing_overhead(repeats, args.seed)
+    report["results"]["tracing_overhead"] = row
+    print(
+        f"{'tracing_overhead':>22} {row['disabled_span_seconds'] * 1e9:8.1f}ns/span "
+        f"x {row['span_count']} spans / {row['kernel_seconds'] * 1e3:.1f}ms "
+        f"= {row['overhead_fraction'] * 100:.4f}% (limit "
+        f"{TRACING_OVERHEAD_TARGET * 100:.0f}%)"
+    )
+    if scale > 0 and row["overhead_fraction"] > TRACING_OVERHEAD_TARGET:
+        failures.append(
+            f"tracing_overhead: disabled-path cost is "
+            f"{row['overhead_fraction'] * 100:.2f}% of the clustering refresh; "
+            f"required < {TRACING_OVERHEAD_TARGET * 100:.0f}%"
+        )
 
     if args.output:
         with open(args.output, "w") as handle:

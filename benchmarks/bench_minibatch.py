@@ -43,6 +43,7 @@ from repro.core.rethink import RethinkConfig, RethinkTrainer
 from repro.graph.graph import AttributedGraph
 from repro.graph.sparse import SparseAdjacency
 from repro.models import build_model
+from repro.observability.metrics import metrics_report as unified_report
 
 FEATURE_DIM = 32
 NUM_CLUSTERS = 6
@@ -132,16 +133,16 @@ def main(argv=None) -> int:
     sizes = args.sizes if args.sizes else ([500, 2000, 8000] if args.smoke else [500, 2000, 8000, 16000])
     repeats = args.repeats if args.repeats is not None else (2 if args.smoke else 4)
 
-    report = {
-        "benchmark": "bench_minibatch",
-        "model": "gae",
-        "feature_dim": FEATURE_DIM,
-        "num_clusters": NUM_CLUSTERS,
-        "avg_degree": args.avg_degree,
-        "batch_size": args.batch_size,
-        "repeats": repeats,
-        "results": [],
-    }
+    report = unified_report(
+        "bench_minibatch",
+        [],
+        repeats=repeats,
+        model="gae",
+        feature_dim=FEATURE_DIM,
+        num_clusters=NUM_CLUSTERS,
+        avg_degree=args.avg_degree,
+        batch_size=args.batch_size,
+    )
     print(
         f"{'N':>7} {'|E|':>8} {'path':>8} {'epoch':>10} {'peak mem':>10} {'batches':>8}"
     )

@@ -36,6 +36,7 @@ import time
 from typing import Dict, List
 
 from repro.env import FAULTS_ENV, env_override
+from repro.observability.metrics import metrics_report as unified_report
 from repro.parallel import run_sweep
 from repro.resilience import RetryPolicy
 
@@ -103,12 +104,16 @@ def main(argv=None) -> int:
             chaos = run_sweep(specs, jobs=args.jobs, store_dir=store_dir, policy=_POLICY)
             chaos_seconds = time.perf_counter() - start
 
-        report = chaos.report()
-        report["benchmark"] = "bench_resilience"
-        report["fault_plan"] = FAULT_PLAN
-        report["seeds"] = num_seeds
-        report["baseline_seconds"] = baseline_seconds
-        report["chaos_seconds"] = chaos_seconds
+        results = chaos.report()
+        results["baseline_seconds"] = baseline_seconds
+        results["chaos_seconds"] = chaos_seconds
+        report = unified_report(
+            "bench_resilience",
+            results,
+            fault_plan=FAULT_PLAN,
+            seeds=num_seeds,
+            jobs=args.jobs,
+        )
 
         if not chaos.ok:
             failures.append(
@@ -122,8 +127,8 @@ def main(argv=None) -> int:
             start = time.perf_counter()
             resumed = run_sweep(specs, jobs=1, store_dir=store_dir, resume=True)
             resume_seconds = time.perf_counter() - start
-        report["resumed"] = resumed.resumed
-        report["resume_seconds"] = resume_seconds
+        results["resumed"] = resumed.resumed
+        results["resume_seconds"] = resume_seconds
         # store_corrupt also tears journal blobs at write time; those entries
         # fail their checksum on resume and legitimately re-run, so demand
         # only that the journal served *something* — not a full replay.
@@ -135,7 +140,7 @@ def main(argv=None) -> int:
         if resumed.ok and stripped(resumed.results) != baseline_rows:
             failures.append("resumed sweep metrics differ from the fault-free baseline")
 
-        report["metrics_identical"] = not failures
+        results["metrics_identical"] = not failures
         with open(args.report, "w") as handle:
             json.dump(report, handle, indent=2)
 
@@ -143,7 +148,7 @@ def main(argv=None) -> int:
             f"bench_resilience: {num_seeds} seeds, plan '{FAULT_PLAN}'\n"
             f"  baseline (serial, fault-free): {baseline_seconds:6.2f}s\n"
             f"  chaos (jobs={args.jobs}, retries): {chaos_seconds:6.2f}s, "
-            f"{report['failed']} quarantined\n"
+            f"{results['failed']} quarantined\n"
             f"  resume from journal:           {resume_seconds:6.2f}s, "
             f"{resumed.resumed}/{num_seeds} replayed\n"
             f"  report: {args.report}"

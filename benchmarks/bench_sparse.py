@@ -40,6 +40,7 @@ from repro.graph.laplacian import (
 )
 from repro.graph.sparse import SparseAdjacency
 from repro.nn.layers import GraphConvolution
+from repro.observability.metrics import metrics_report as unified_report
 
 FEATURE_DIM = 32
 HIDDEN_DIM = 16
@@ -171,14 +172,14 @@ def main(argv=None) -> int:
     sizes = args.sizes if args.sizes else ([500, 2000] if args.smoke else [500, 2000, 8000])
     repeats = args.repeats if args.repeats is not None else (3 if args.smoke else 5)
 
-    report = {
-        "benchmark": "bench_sparse",
-        "feature_dim": FEATURE_DIM,
-        "hidden_dim": HIDDEN_DIM,
-        "avg_degree": args.avg_degree,
-        "repeats": repeats,
-        "results": [],
-    }
+    report = unified_report(
+        "bench_sparse",
+        [],
+        repeats=repeats,
+        feature_dim=FEATURE_DIM,
+        hidden_dim=HIDDEN_DIM,
+        avg_degree=args.avg_degree,
+    )
     print(f"{'N':>6} {'|E|':>8} {'op':>26} {'dense':>10} {'sparse':>10} {'speedup':>8}")
     for n in sizes:
         row = bench_size(n, args.avg_degree, repeats, args.dense_max, args.seed)

@@ -31,6 +31,7 @@ from typing import Dict, List
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import run_model_pair
 from repro.models import build_model
+from repro.observability.metrics import metrics_report as unified_report
 from repro.parallel import load_dataset_cached
 from repro.store import ArtifactStore, Snapshot, pretrain_cache_key
 
@@ -93,13 +94,14 @@ def main(argv=None) -> int:
         rethink_epochs=max(3, pretrain_epochs // 2),
     )
 
-    report: Dict = {
-        "benchmark": "bench_store",
-        "dataset": args.dataset,
-        "trials": trials,
-        "pretrain_epochs": pretrain_epochs,
-        "results": [],
-    }
+    report: Dict = unified_report(
+        "bench_store",
+        [],
+        repeats=repeats,
+        dataset=args.dataset,
+        trials=trials,
+        pretrain_epochs=pretrain_epochs,
+    )
     failures: List[str] = []
     print(f"{'model':>10} {'cold':>10} {'warm':>10} {'speedup':>8} {'hits':>10}")
     for model in models:

@@ -19,6 +19,9 @@ REP006    no bare ``assert`` / ``raise Exception`` in library code
 REP007    no swallowed exceptions in library code: bare ``except:`` and
           ``except Exception: pass`` hide the failures the resilience
           layer is built to surface (repro.resilience)
+REP008    no ``print()`` in library code (CLI modules exempt); library
+          output goes through the ``repro`` logger
+          (:mod:`repro.observability.log`)
 ========  ============================================================
 
 Violations carry ``file:line`` positions and are suppressable per line
@@ -41,6 +44,7 @@ __all__ = [
     "check_env_accessor",
     "check_typed_errors",
     "check_exception_swallowing",
+    "check_no_print",
 ]
 
 #: dotted prefixes of the CSR-only packages guarded by REP002.
@@ -67,6 +71,9 @@ _RNG_STATE_READS = {"get_state"}
 #: entry points of repro.parallel whose callable/iterable arguments cross
 #: a process boundary and therefore must pickle.
 _POOL_ENTRY_POINTS = {"parallel_map", "run_trials", "run_seeded"}
+
+#: modules whose *job* is writing to stdout/stderr — exempt from REP008.
+_CLI_MODULES = ("repro.api.cli", "repro.analysis.cli")
 
 
 def _dotted(node: ast.AST) -> str:
@@ -429,4 +436,34 @@ def check_exception_swallowing(ctx: ModuleContext) -> Iterator[RuleViolation]:
                 f"except {broad[0]}: pass silently swallows every failure; "
                 f"handle the error (log, degrade, re-raise) or catch the "
                 f"specific types that are safe to ignore",
+            )
+
+
+# ----------------------------------------------------------------------
+# REP008 — no print() in library code
+# ----------------------------------------------------------------------
+@rule(
+    "REP008",
+    summary="no print() in library code (CLI modules exempt); route output "
+    "through the repro logger",
+)
+def check_no_print(ctx: ModuleContext) -> Iterator[RuleViolation]:
+    """``print()`` in library code cannot be silenced, redirected or
+    captured by a host application, and pool workers interleave it
+    arbitrarily on shared stdout.  Library output goes through
+    :func:`repro.observability.log.get_logger`; only the CLI entry points
+    (whose contract *is* stdout/stderr) print directly."""
+    if not ctx.in_library or ctx.module_is(*_CLI_MODULES):
+        return
+    for node in ast.walk(ctx.tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "print"
+        ):
+            yield _violation(
+                node,
+                "print() in library code bypasses the repro logger; use "
+                "repro.observability.log.get_logger(...).info(...) so hosts "
+                "can configure, silence or redirect the output",
             )

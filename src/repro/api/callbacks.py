@@ -19,12 +19,15 @@ callbacks, which is how the old configuration surface keeps working.
 
 from __future__ import annotations
 
+import tracemalloc
 from typing import Any, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.api.registry import Registry
 from repro.errors import SpecError
+from repro.observability.log import get_logger
+from repro.observability.tracer import trace_event
 
 
 class EvaluationContext:
@@ -260,10 +263,66 @@ class ProgressLogger(RethinkCallback):
     def on_epoch_end(self, epoch: int, logs: Dict[str, float]) -> None:
         if epoch % self.every == 0:
             model_name = self.trainer.model.__class__.__name__
-            print(
-                f"[R-{model_name}] epoch {epoch} "
-                f"loss {logs['loss']:.4f} |Omega| {int(logs['num_reliable'])}"
+            get_logger("progress").info(
+                "[R-%s] epoch %d loss %.4f |Omega| %d",
+                model_name,
+                epoch,
+                logs["loss"],
+                int(logs["num_reliable"]),
             )
+
+
+@CALLBACKS.register(
+    "telemetry", description="structured per-epoch telemetry (losses, coverage, memory peaks)"
+)
+class TrainingTelemetry(RethinkCallback):
+    """Fold the loop's scalar diagnostics into one structured record stream.
+
+    Each epoch contributes a flat record — every ``logs`` scalar (loss,
+    coverage, |Ω|) plus the peak Python allocation since the previous epoch
+    when ``track_memory`` is on (tracemalloc is started on demand and
+    stopped again if this callback started it).  At train end the records
+    and any FR/FD series other callbacks recorded are folded into
+    ``history.telemetry``, and each epoch is also emitted as a
+    ``telemetry.epoch`` trace event so traced runs see the same numbers on
+    the Chrome timeline.  Nothing here consumes RNG: traced/telemetered
+    runs stay bitwise identical to bare ones.
+    """
+
+    _FR_FD_SERIES = ("fr_rethought", "fr_baseline", "fd_rethought", "fd_baseline")
+
+    def __init__(self, track_memory: bool = True) -> None:
+        self.track_memory = bool(track_memory)
+        self.records: List[Dict[str, float]] = []
+        self._started_tracemalloc = False
+
+    def on_train_begin(self, graph, history) -> None:
+        self.records = []
+        if self.track_memory and not tracemalloc.is_tracing():
+            tracemalloc.start()
+            self._started_tracemalloc = True
+
+    def on_epoch_end(self, epoch: int, logs: Dict[str, float]) -> None:
+        record: Dict[str, float] = {"epoch": float(epoch)}
+        for key in sorted(logs):
+            record[key] = float(logs[key])
+        if self.track_memory and tracemalloc.is_tracing():
+            _, peak = tracemalloc.get_traced_memory()
+            tracemalloc.reset_peak()
+            record["peak_alloc_bytes"] = float(peak)
+        self.records.append(record)
+        trace_event("telemetry.epoch", **record)
+
+    def on_train_end(self, history) -> None:
+        summary: Dict[str, Any] = {"epochs": list(self.records)}
+        for name in self._FR_FD_SERIES:
+            series = getattr(history, name, None)
+            if series:
+                summary[name] = [float(value) for value in series]
+        history.telemetry = summary
+        if self._started_tracemalloc:
+            tracemalloc.stop()
+            self._started_tracemalloc = False
 
 
 @CALLBACKS.register("convergence_stopping", description="stop when |Ω| ≥ fraction · N")

@@ -159,6 +159,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the sweep's JSON failure report (totals, retry policy, "
         "per-seed attempt histories) to PATH",
     )
+    observability = parser.add_argument_group(
+        "observability",
+        "span tracing and metrics across the run (repro.observability)",
+    )
+    observability.add_argument(
+        "--trace",
+        nargs="?",
+        const=True,
+        default=None,
+        metavar="PATH",
+        help="enable span tracing (REPRO_TRACE=1, propagated to pool "
+        "workers) and write the merged Chrome trace — loadable at "
+        "https://ui.perfetto.dev — to PATH (default: repro-trace.json); "
+        "inspect it with 'repro-run trace-summary PATH'",
+    )
     minibatch = parser.add_argument_group(
         "minibatch training",
         "stream subgraph blocks instead of full-graph epochs (rethink "
@@ -318,6 +333,45 @@ def _run_store_gc(argv: Sequence[str]) -> int:
     return 0
 
 
+def _run_trace_summary(argv: Sequence[str]) -> int:
+    """``repro-run trace-summary PATH``: per-span breakdown of a trace file."""
+    parser = argparse.ArgumentParser(
+        prog="repro-run trace-summary",
+        description="Summarise a Chrome trace written by 'repro-run --trace' "
+        "(or repro.observability.write_chrome_trace): calls, wall/CPU time "
+        "and peak allocations per span name, sorted by wall time.",
+    )
+    parser.add_argument("trace", help="path to a .trace.json file")
+    parser.add_argument(
+        "--json", action="store_true", help="emit the summary rows as JSON"
+    )
+    args = parser.parse_args(argv)
+    from repro.observability.exporters import (
+        format_trace_summary,
+        load_trace_events,
+        summarize_trace,
+    )
+
+    try:
+        rows = summarize_trace(load_trace_events(args.trace))
+    except (OSError, ValueError, KeyError) as error:
+        print(f"repro-run: cannot summarise {args.trace}: {error}", file=sys.stderr)
+        return 2
+    try:
+        if args.json:
+            print(json.dumps(rows, indent=2))
+        else:
+            print(format_trace_summary(rows))
+    except BrokenPipeError:
+        # the reader (e.g. ``| head`` or ``| grep -q``) closed the pipe
+        # after seeing what it needed; point stdout at devnull so the
+        # interpreter's shutdown flush doesn't re-raise
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+    return 0
+
+
 def _run_from_checkpoint(args) -> int:
     """--from-checkpoint: rebuild a saved model and re-evaluate it."""
     from repro.api.pipeline import Pipeline
@@ -368,6 +422,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     raw_argv = list(sys.argv[1:] if argv is None else argv)
     if raw_argv[:1] == ["store-gc"]:
         return _run_store_gc(raw_argv[1:])
+    if raw_argv[:1] == ["trace-summary"]:
+        return _run_trace_summary(raw_argv[1:])
     args = build_parser().parse_args(raw_argv)
     if args.from_checkpoint is not None:
         if args.spec is not None or args.seeds is not None or args.save_to:
@@ -462,11 +518,37 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 else 1 + args.max_retries,
                 timeout=args.trial_timeout,
             )
-        with store_env(store_root):
+        from contextlib import nullcontext
+
+        from repro.env import TRACE_ENV, env_override
+
+        trace_path = None
+        if args.trace is not None:
+            trace_path = "repro-trace.json" if args.trace is True else str(args.trace)
+        telemetry_doc = None
+        # Exporting REPRO_TRACE before the pool spins up is what makes the
+        # workers trace themselves; their span forests come back inside the
+        # trial results and are merged below.
+        trace_ctx = (
+            env_override(TRACE_ENV, "1") if trace_path is not None else nullcontext()
+        )
+        with trace_ctx, store_env(store_root):
             if seeds is None:
+                from repro.observability.collect import (
+                    merge_sweep_telemetry,
+                    trial_telemetry,
+                )
+
                 print(f"repro-run: {spec.describe()}", file=sys.stderr)
-                results = [pipeline.run()]
+                with trial_telemetry() as telemetry:
+                    results = [pipeline.run()]
                 seeds = [spec.seed]
+                if telemetry is not None:
+                    from repro.store.keys import run_key
+
+                    telemetry_doc = merge_sweep_telemetry(
+                        [(run_key(spec.to_dict()), 0, telemetry.export())]
+                    )
             else:
                 print(
                     f"repro-run: {spec.describe()} over seeds {seeds} "
@@ -481,12 +563,25 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                     fail_fast=args.fail_fast,
                 )
                 results = outcome.results
+                telemetry_doc = outcome.telemetry
                 if outcome.resumed:
                     print(
                         f"repro-run: resumed {outcome.resumed}/{len(seeds)} "
                         f"seed(s) from the sweep journal",
                         file=sys.stderr,
                     )
+        if trace_path is not None and telemetry_doc is not None:
+            from repro.observability.exporters import write_chrome_trace
+
+            try:
+                write_chrome_trace(trace_path, telemetry_doc)
+            except OSError as error:
+                print(
+                    f"repro-run: cannot write trace to {trace_path}: {error}",
+                    file=sys.stderr,
+                )
+                return 2
+            print(f"repro-run: wrote Chrome trace to {trace_path}", file=sys.stderr)
         if args.save_to:
             saved = Pipeline.save(results[0], args.save_to)
             print(f"repro-run: saved snapshot to {saved}", file=sys.stderr)

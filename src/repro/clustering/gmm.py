@@ -12,6 +12,7 @@ from typing import Optional
 import numpy as np
 
 from repro.clustering.kmeans import KMeans
+from repro.observability.tracer import span as _span
 
 
 class GaussianMixture:
@@ -98,6 +99,10 @@ class GaussianMixture:
 
     def fit(self, data: np.ndarray) -> "GaussianMixture":
         """Fit the mixture with EM, initialised from k-means."""
+        with _span("kernel.gmm_fit", components=self.num_components):
+            return self._fit(data)
+
+    def _fit(self, data: np.ndarray) -> "GaussianMixture":
         data = np.asarray(data, dtype=np.float64)
         kmeans = KMeans(self.num_components, num_init=5, seed=self.seed).fit(data)
         self.means_ = kmeans.cluster_centers_.copy()

@@ -21,6 +21,8 @@ from typing import Optional
 
 import numpy as np
 
+from repro.observability.tracer import span as _span
+
 
 def kmeans_plus_plus_init(
     data: np.ndarray, num_clusters: int, rng: np.random.Generator
@@ -116,6 +118,12 @@ class KMeans:
     # ------------------------------------------------------------------
     def fit(self, data: np.ndarray) -> "KMeans":
         """Run all restarts as one batched computation and keep the best."""
+        with _span(
+            "kernel.kmeans_fit", restarts=self.num_init, clusters=self.num_clusters
+        ):
+            return self._fit(data)
+
+    def _fit(self, data: np.ndarray) -> "KMeans":
         data = np.asarray(data, dtype=np.float64)
         n, dim = data.shape
         num_restarts = self.num_init

@@ -22,6 +22,7 @@ from typing import Dict, List, Optional, Union
 import numpy as np
 
 from repro.graph.sparse import SparseAdjacency
+from repro.observability.tracer import span as _span
 
 AdjacencyLike = Union[np.ndarray, SparseAdjacency]
 
@@ -83,6 +84,25 @@ def build_clustering_oriented_graph(
     add_edges, drop_edges:
         Toggles for the two edit operations (ablations of Table 9).
     """
+    with _span("kernel.upsilon"):
+        return _apply_upsilon(
+            adjacency,
+            assignments,
+            reliable_nodes,
+            embeddings,
+            add_edges=add_edges,
+            drop_edges=drop_edges,
+        )
+
+
+def _apply_upsilon(
+    adjacency: AdjacencyLike,
+    assignments: np.ndarray,
+    reliable_nodes: np.ndarray,
+    embeddings: np.ndarray,
+    add_edges: bool = True,
+    drop_edges: bool = True,
+) -> AdjacencyLike:
     if isinstance(adjacency, SparseAdjacency):
         return _build_clustering_oriented_graph_sparse(
             adjacency,

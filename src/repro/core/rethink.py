@@ -26,7 +26,7 @@ callbacks; new code should pass callbacks explicitly or use
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -37,6 +37,7 @@ from repro.graph.graph import AttributedGraph
 from repro.metrics.report import ClusteringReport, evaluate_clustering
 from repro.models.base import GAEClusteringModel
 from repro.nn.optim import Adam
+from repro.observability import span as _span
 
 
 @dataclass
@@ -198,6 +199,9 @@ class RethinkHistory:
     epochs_run: int = 0
     converged: bool = False
     final_report: Optional[ClusteringReport] = None
+    #: structured per-epoch telemetry (losses, coverage, memory peaks,
+    #: FR/FD series) filled in by the ``telemetry`` callback.
+    telemetry: Optional[Dict[str, Any]] = None
 
     def summary(self) -> Dict[str, float]:
         """Compact summary used by the experiment tables."""
@@ -331,10 +335,15 @@ class RethinkTrainer:
         """
         from repro.analysis.sanitizers import autograd_leak_check
         from repro.graph.sparse import sparse_threshold_overrides
+        from repro.observability import span
 
         with sparse_threshold_overrides(
             self.config.sparse_node_threshold, self.config.sparse_density_threshold
-        ), autograd_leak_check("RethinkTrainer.fit"):
+        ), autograd_leak_check("RethinkTrainer.fit"), span(
+            "trainer.fit",
+            sampler=self.config.sampler or "legacy",
+            epochs=self.config.epochs,
+        ):
             if self.config.sampler is None:
                 return self._fit_full_graph(graph, pretrained)
             return self._fit_minibatch(graph, pretrained)
@@ -348,20 +357,22 @@ class RethinkTrainer:
         the graph; without it this is exactly ``model.pretrain``.  The
         hit/miss stats land on :attr:`pretrain_cache_`.
         """
+        from repro.observability import span
         from repro.store import warm_pretrain
 
-        self.pretrain_cache_ = warm_pretrain(
-            self.model,
-            graph,
-            self.config.pretrain_epochs,
-            config={
-                "sparse": [
-                    self.config.sparse_node_threshold,
-                    self.config.sparse_density_threshold,
-                ]
-            },
-            verbose=self.config.verbose,
-        )
+        with span("trainer.pretrain", epochs=self.config.pretrain_epochs):
+            self.pretrain_cache_ = warm_pretrain(
+                self.model,
+                graph,
+                self.config.pretrain_epochs,
+                config={
+                    "sparse": [
+                        self.config.sparse_node_threshold,
+                        self.config.sparse_density_threshold,
+                    ]
+                },
+                verbose=self.config.verbose,
+            )
 
     def _fit_full_graph(self, graph: AttributedGraph, pretrained: bool) -> RethinkHistory:
         """The legacy loop: one forward/backward over the whole adjacency."""
@@ -390,6 +401,8 @@ class RethinkTrainer:
 
         for epoch in range(config.epochs):
             callbacks.on_epoch_begin(epoch)
+            epoch_span = _span("trainer.epoch", epoch=epoch)
+            epoch_span.__enter__()
             refresh_omega = epoch % config.update_omega_every == 0
             refresh_graph = epoch % config.update_graph_every == 0
             optimizer.zero_grad()
@@ -401,15 +414,18 @@ class RethinkTrainer:
                 embeddings = model.last_embeddings()
                 # Keep the model's own clustering parameters (targets, mixture
                 # moments, centres) in sync with the current embeddings.
-                model.refresh_clustering(embeddings)
+                with _span("trainer.clustering_refresh", epoch=epoch):
+                    model.refresh_clustering(embeddings)
             if refresh_omega:
-                sampling = self._apply_sampling(embeddings, epoch, graph.num_nodes)
+                with _span("trainer.omega_update", epoch=epoch):
+                    sampling = self._apply_sampling(embeddings, epoch, graph.num_nodes)
                 self.last_sampling_ = sampling
                 callbacks.on_omega_update(epoch, sampling)
             if refresh_graph:
-                self.self_supervision_graph_ = self._apply_transform(
-                    graph.adjacency, graph.num_nodes, embeddings, sampling
-                )
+                with _span("trainer.graph_transform", epoch=epoch):
+                    self.self_supervision_graph_ = self._apply_transform(
+                        graph.adjacency, graph.num_nodes, embeddings, sampling
+                    )
                 callbacks.on_graph_transform(epoch, self.self_supervision_graph_)
 
             reconstruction = model.reconstruction_loss(z, self.self_supervision_graph_)
@@ -438,7 +454,8 @@ class RethinkTrainer:
             if should_evaluate:
                 from repro.api.callbacks import EvaluationContext
 
-                callbacks.on_evaluate(epoch, EvaluationContext(self, graph, epoch))
+                with _span("trainer.evaluate", epoch=epoch):
+                    callbacks.on_evaluate(epoch, EvaluationContext(self, graph, epoch))
 
             callbacks.on_epoch_end(
                 epoch,
@@ -449,6 +466,7 @@ class RethinkTrainer:
                     "coverage": sampling.coverage(),
                 },
             )
+            epoch_span.__exit__(None, None, None)
             if self.stop_training:
                 break
 
@@ -537,19 +555,24 @@ class RethinkTrainer:
 
         for epoch in range(config.epochs):
             callbacks.on_epoch_begin(epoch)
+            epoch_span = _span("trainer.epoch", epoch=epoch)
+            epoch_span.__enter__()
             refresh_omega = epoch % config.update_omega_every == 0
             refresh_graph = epoch % config.update_graph_every == 0
             if refresh_omega or refresh_graph:
-                embeddings = model.embed(graph)
-                model.refresh_clustering(embeddings)
+                with _span("trainer.clustering_refresh", epoch=epoch):
+                    embeddings = model.embed(graph)
+                    model.refresh_clustering(embeddings)
             if refresh_omega:
-                sampling = self._apply_sampling(embeddings, epoch, graph.num_nodes)
+                with _span("trainer.omega_update", epoch=epoch):
+                    sampling = self._apply_sampling(embeddings, epoch, graph.num_nodes)
                 self.last_sampling_ = sampling
                 callbacks.on_omega_update(epoch, sampling)
             if refresh_graph:
-                self.self_supervision_graph_ = self._apply_transform(
-                    base_adjacency, graph.num_nodes, embeddings, sampling
-                )
+                with _span("trainer.graph_transform", epoch=epoch):
+                    self.self_supervision_graph_ = self._apply_transform(
+                        base_adjacency, graph.num_nodes, embeddings, sampling
+                    )
                 callbacks.on_graph_transform(epoch, self.self_supervision_graph_)
 
             reliable_mask = sampling.mask()
@@ -601,7 +624,8 @@ class RethinkTrainer:
             if should_evaluate:
                 from repro.api.callbacks import EvaluationContext
 
-                callbacks.on_evaluate(epoch, EvaluationContext(self, graph, epoch))
+                with _span("trainer.evaluate", epoch=epoch):
+                    callbacks.on_evaluate(epoch, EvaluationContext(self, graph, epoch))
 
             callbacks.on_epoch_end(
                 epoch,
@@ -613,6 +637,8 @@ class RethinkTrainer:
                     "num_batches": float(len(batch_losses)),
                 },
             )
+            epoch_span.count("batches", len(batch_losses))
+            epoch_span.__exit__(None, None, None)
             if self.stop_training:
                 break
 

@@ -21,6 +21,7 @@ from typing import Optional
 import numpy as np
 
 from repro.clustering.assignments import soften_assignments
+from repro.observability.tracer import span as _span
 
 
 @dataclass
@@ -132,6 +133,7 @@ class SamplingOperator:
         """Apply Ξ, honouring any disabled criteria (Table 8 ablations)."""
         effective_alpha1 = self.alpha1 if self.use_confidence_criterion else 0.0
         effective_alpha2 = self.alpha2 if self.use_margin_criterion else 0.0
-        return select_reliable_nodes(
-            embeddings, assignments, alpha1=effective_alpha1, alpha2=effective_alpha2
-        )
+        with _span("kernel.sampling_xi"):
+            return select_reliable_nodes(
+                embeddings, assignments, alpha1=effective_alpha1, alpha2=effective_alpha2
+            )

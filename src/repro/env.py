@@ -40,6 +40,8 @@ __all__ = [
     "MAX_RETRIES_ENV",
     "FAULTS_ENV",
     "STORE_MAX_BYTES_ENV",
+    "TRACE_ENV",
+    "METRICS_ENV",
     "env_raw",
     "env_str",
     "env_int",
@@ -145,6 +147,24 @@ STORE_MAX_BYTES_ENV = _register(
     "Size budget of the artifact store; journaled sweeps and "
     "'repro-run store-gc' evict least-recently-used artifacts (by mtime) "
     "until the store fits.  0 disables eviction.",
+)
+TRACE_ENV = _register(
+    "REPRO_TRACE",
+    "flag (1/true/on)",
+    "(unset: tracing off)",
+    "Enables the span tracer (repro.observability): pipeline stages, "
+    "trainer phases, kernel and store operations are timed; pool workers "
+    "ship their span trees back with trial results and 'repro-run --trace' "
+    "exports a merged Chrome trace.  Disabled, every instrumented site "
+    "costs one None check.",
+)
+METRICS_ENV = _register(
+    "REPRO_METRICS",
+    "flag (1/true/on)",
+    "(unset: metrics off)",
+    "Enables the metrics registry (repro.observability): counters, gauges "
+    "and histograms (store hits/misses, retries, kernel call counts) "
+    "snapshotted per trial and merged deterministically across a sweep.",
 )
 
 

@@ -40,6 +40,7 @@ from repro.graph.sparse import (
     propagation_matrix,
 )
 from repro.minibatch.partition import ClusterPartitioner, GraphPartition
+from repro.observability.tracer import span as _span
 
 __all__ = [
     "Minibatch",
@@ -150,14 +151,15 @@ def _induced_minibatch(
     seed_ids: np.ndarray,
 ) -> Minibatch:
     """Build the renumbered block for ``node_ids`` with its own normalisation."""
-    block = sparse.induced_subgraph(node_ids)
-    return Minibatch(
-        node_ids=node_ids,
-        features=features[node_ids],
-        adj_norm=propagation_matrix(block, self_loops=True),
-        seed_ids=seed_ids,
-        num_nodes_total=sparse.num_nodes,
-    )
+    with _span("kernel.minibatch_block"):
+        block = sparse.induced_subgraph(node_ids)
+        return Minibatch(
+            node_ids=node_ids,
+            features=features[node_ids],
+            adj_norm=propagation_matrix(block, self_loops=True),
+            seed_ids=seed_ids,
+            num_nodes_total=sparse.num_nodes,
+        )
 
 
 class NeighborLoader(MinibatchLoader):
@@ -203,12 +205,13 @@ class NeighborLoader(MinibatchLoader):
             seeds = np.sort(order[start : start + self.batch_size]).astype(np.int64)
             block_nodes = seeds
             frontier = seeds
-            for _ in range(self.num_hops):
-                if frontier.size == 0:
-                    break
-                _, sampled = self._sparse.sample_neighbors(frontier, self.fanout, rng)
-                frontier = np.setdiff1d(sampled, block_nodes, assume_unique=False)
-                block_nodes = np.concatenate([block_nodes, frontier])
+            with _span("kernel.sample_neighbors", hops=self.num_hops):
+                for _ in range(self.num_hops):
+                    if frontier.size == 0:
+                        break
+                    _, sampled = self._sparse.sample_neighbors(frontier, self.fanout, rng)
+                    frontier = np.setdiff1d(sampled, block_nodes, assume_unique=False)
+                    block_nodes = np.concatenate([block_nodes, frontier])
             yield _induced_minibatch(self._sparse, self._features, block_nodes, seeds)
 
     def describe(self) -> str:
@@ -298,12 +301,13 @@ def build_loader(
         raise ValueError(
             f"unknown sampler {sampler!r}; expected one of {', '.join(SAMPLERS)}"
         )
-    if sampler == "full":
-        return FullBatchLoader(graph, seed=seed)
-    if batch_size is None:
-        batch_size = min(graph.num_nodes, 256)
-    if sampler == "neighbor":
-        return NeighborLoader(
-            graph, batch_size=batch_size, fanout=fanout, num_hops=num_hops, seed=seed
-        )
-    return ClusterLoader(graph, batch_size=batch_size, seed=seed)
+    with _span("minibatch.build_loader", sampler=sampler):
+        if sampler == "full":
+            return FullBatchLoader(graph, seed=seed)
+        if batch_size is None:
+            batch_size = min(graph.num_nodes, 256)
+        if sampler == "neighbor":
+            return NeighborLoader(
+                graph, batch_size=batch_size, fanout=fanout, num_hops=num_hops, seed=seed
+            )
+        return ClusterLoader(graph, batch_size=batch_size, seed=seed)

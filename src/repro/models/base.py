@@ -34,6 +34,7 @@ from repro.nn.layers import GraphConvolution
 from repro.nn.module import Module
 from repro.nn.optim import Adam
 from repro.nn.tensor import Tensor, no_grad
+from repro.observability.log import get_logger
 
 
 def reconstruction_weights(adjacency: np.ndarray) -> Tuple[float, float]:
@@ -459,7 +460,12 @@ class GAEClusteringModel(Module):
                 loss.release_graph()
                 history.losses.append(loss.item())
                 if verbose and epoch % 20 == 0:
-                    print(f"[pretrain:{self.__class__.__name__}] epoch {epoch} loss {loss.item():.4f}")
+                    get_logger("pretrain").info(
+                        "[pretrain:%s] epoch %d loss %.4f",
+                        self.__class__.__name__,
+                        epoch,
+                        loss.item(),
+                    )
         return history
 
     def pretrain_step_hook(self, z, features, adj_norm, optimizer) -> None:

@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.analysis.sanitizers import autograd_leak_check
 from repro.clustering.assignments import soft_assignment_student_t, target_distribution
+from repro.observability.log import get_logger
 from repro.clustering.kmeans import KMeans
 from repro.models.base import GAEClusteringModel
 from repro.nn.optim import Adam
@@ -163,5 +164,7 @@ class DGAE(GAEClusteringModel):
                 history["clustering_loss"].append(clustering.item())
                 history["reconstruction_loss"].append(reconstruction.item())
                 if verbose and epoch % 20 == 0:
-                    print(f"[DGAE] epoch {epoch} loss {loss.item():.4f}")
+                    get_logger("pretrain").info(
+                        "[DGAE] epoch %d loss %.4f", epoch, loss.item()
+                    )
         return history

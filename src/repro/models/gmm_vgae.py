@@ -21,6 +21,7 @@ from repro.analysis.sanitizers import autograd_leak_check
 from repro.clustering.assignments import soft_assignment_gaussian, target_distribution
 from repro.clustering.gmm import GaussianMixture
 from repro.models.base import GAEClusteringModel
+from repro.observability.log import get_logger
 from repro.nn import functional as F
 from repro.nn.optim import Adam
 from repro.nn.tensor import Tensor
@@ -199,5 +200,7 @@ class GMMVGAE(GAEClusteringModel):
                 history["clustering_loss"].append(clustering.item())
                 history["reconstruction_loss"].append(reconstruction.item())
                 if verbose and epoch % 20 == 0:
-                    print(f"[GMM-VGAE] epoch {epoch} loss {loss.item():.4f}")
+                    get_logger("pretrain").info(
+                        "[GMM-VGAE] epoch %d loss %.4f", epoch, loss.item()
+                    )
         return history

@@ -13,6 +13,7 @@ from typing import Optional, Union
 import numpy as np
 
 from repro.nn.tensor import Tensor, as_tensor
+from repro.observability.tracer import span as _span
 
 ArrayOrTensor = Union[np.ndarray, Tensor]
 
@@ -63,7 +64,8 @@ def spmm(adjacency, x: ArrayOrTensor) -> Tensor:
     keeps both directions at O(nnz · d) instead of O(N² d).
     """
     x_t = as_tensor(x)
-    out_data = adjacency.matmul(x_t.data)
+    with _span("kernel.spmm"):
+        out_data = adjacency.matmul(x_t.data)
     adjacency_t = adjacency.transpose()
 
     def backward(grad: np.ndarray):

@@ -216,14 +216,24 @@ def _execute_spec(spec_dict: Dict[str, Any]) -> Any:
     the trial runs under the runtime sanitizers, including the check that
     it never consumes this worker's process-global RNG — the invariant the
     bitwise any-``jobs`` determinism guarantee rests on.
+
+    With ``REPRO_TRACE`` / ``REPRO_METRICS`` exported, the trial runs under
+    a *fresh* tracer/metrics pair (:func:`repro.observability.trial_telemetry`)
+    whose export is shipped back in ``result.extra['telemetry']`` — the only
+    way span trees cross the process boundary.  Telemetry never consumes
+    RNG, so traced sweeps stay bitwise identical to untraced ones.
     """
     from repro.analysis.sanitizers import install_from_env, rng_isolation_check
     from repro.api.pipeline import Pipeline
+    from repro.observability.collect import trial_telemetry
 
     install_from_env()
     with rng_isolation_check(f"trial {spec_dict.get('model')}/{spec_dict.get('dataset')}"):
-        result = Pipeline.from_spec(spec_dict).run()
+        with trial_telemetry() as telemetry:
+            result = Pipeline.from_spec(spec_dict).run()
     result.model = None
+    if telemetry is not None:
+        result.extra["telemetry"] = telemetry.export()
     return result
 
 
@@ -253,14 +263,23 @@ def run_sweep(
     replayed trials).  Corrupt journal entries are quarantined by the store
     and simply re-run.  After a journaled sweep, the store is
     garbage-collected when ``REPRO_STORE_MAX_BYTES`` sets a budget.
+
+    With ``REPRO_TRACE`` / ``REPRO_METRICS`` enabled the per-trial span
+    forests shipped back by the workers are merged (deterministically, by
+    trial key) with the supervisor's own spans into
+    :attr:`SweepOutcome.telemetry`; when a store is configured the merged
+    document is also written as a Chrome trace under ``<store>/traces/``.
     """
-    from repro.resilience.journal import open_journal
+    from repro.observability.collect import merge_sweep_telemetry, trial_telemetry
+    from repro.observability.exporters import store_trace_path, write_chrome_trace
+    from repro.resilience.journal import open_journal, sweep_key
     from repro.store import active_store, store_env
 
     spec_dicts = [_normalise_spec(spec) for spec in specs]
+    trial_keys = [_spec_key(d) for d in spec_dicts]
     with store_env(store_dir):
         store = active_store()
-        journal = open_journal(store, [_spec_key(d) for d in spec_dicts])
+        journal = open_journal(store, trial_keys)
         completed: Dict[int, Any] = {}
         if journal is not None and resume:
             completed = journal.load()
@@ -272,17 +291,20 @@ def run_sweep(
                 journal.record(remaining[sub_index], value)
 
         resolved = resolve_jobs(jobs, len(remaining))
-        outcome = supervised_map(
-            _execute_spec,
-            [spec_dicts[i] for i in remaining],
-            resolved,
-            policy=policy,
-            keys=[journal.trial_keys[i] for i in remaining]
-            if journal is not None
-            else [_spec_key(spec_dicts[i]) for i in remaining],
-            fail_fast=fail_fast,
-            on_result=on_result,
-        )
+        # The supervisor gets its own tracer/metrics pair for the sweep:
+        # attempt spans, backoff waits, pool respawns and journal/store
+        # traffic land here, while each trial captures (and ships back) its
+        # own forest — see ``_execute_spec``.
+        with trial_telemetry() as supervisor_telemetry:
+            outcome = supervised_map(
+                _execute_spec,
+                [spec_dicts[i] for i in remaining],
+                resolved,
+                policy=policy,
+                keys=[trial_keys[i] for i in remaining],
+                fail_fast=fail_fast,
+                on_result=on_result,
+            )
 
         results: List[Any] = [None] * len(spec_dicts)
         for index, value in completed.items():
@@ -293,6 +315,23 @@ def run_sweep(
                 slot.index = index  # re-anchor to the caller's spec order
             results[index] = slot
 
+        telemetry: Optional[Dict[str, Any]] = None
+        if supervisor_telemetry is not None:
+            # Merge order is (trial key, spec index) — never pool arrival
+            # order — so the document is identical for any ``jobs``.
+            triples = []
+            for index, value in enumerate(results):
+                extra = getattr(value, "extra", None)
+                payload = extra.get("telemetry") if isinstance(extra, dict) else None
+                triples.append((trial_keys[index], index, payload))
+            telemetry = merge_sweep_telemetry(
+                triples, supervisor=supervisor_telemetry.export()
+            )
+            if store is not None:
+                write_chrome_trace(
+                    store_trace_path(store.root, sweep_key(trial_keys)), telemetry
+                )
+
         if store is not None and repro_env.env_int(repro_env.STORE_MAX_BYTES_ENV, 0) > 0:
             store.gc()
 
@@ -301,6 +340,7 @@ def run_sweep(
         failures=sorted(outcome.failures, key=lambda failure: failure.index),
         resumed=len(completed),
         policy=outcome.policy,
+        telemetry=telemetry,
     )
 
 

@@ -56,6 +56,9 @@ from typing import (
 
 from repro import env as repro_env
 from repro.errors import ConfigError, TrialFailedError, TrialTimeoutError
+from repro.observability.metrics import metric_inc
+from repro.observability.tracer import span as _span
+from repro.observability.tracer import trace_event
 from repro.resilience import faults
 
 T = TypeVar("T")
@@ -184,6 +187,9 @@ class SweepOutcome:
     #: (filled in by :func:`repro.parallel.run_trials` on resume).
     resumed: int = 0
     policy: Optional[RetryPolicy] = None
+    #: merged sweep telemetry (``repro-trace/1`` document) when tracing or
+    #: metrics were enabled; filled in by :func:`repro.parallel.run_sweep`.
+    telemetry: Optional[Dict[str, Any]] = None
 
     @property
     def ok(self) -> bool:
@@ -239,6 +245,19 @@ class _TrialState:
         )
         if outcome in _COUNTED_OUTCOMES:
             self.counted += 1
+        # Supervisor-side observability: the attempt already happened (in a
+        # worker, or inline), so it is recorded as a completed span keyed
+        # ``<trial key>#a<attempt>`` — the same identity the fault planner
+        # and backoff jitter use.
+        trace_event(
+            "resilience.attempt",
+            seconds=seconds,
+            attempt_key=f"{self.key}#a{len(self.attempts)}",
+            outcome=outcome,
+        )
+        metric_inc("resilience.attempts")
+        if outcome in _COUNTED_OUTCOMES:
+            metric_inc(f"resilience.{outcome}")
 
     def permanent_error(self, policy: RetryPolicy) -> TrialFailedError:
         counted = [a for a in self.attempts if a["outcome"] in _COUNTED_OUTCOMES]
@@ -301,7 +320,9 @@ def _serial_map(
                     failures.append(failure)
                     results[state.index] = failure
                     break
-                time.sleep(backoff_delay(policy, state.key, state.counted))
+                metric_inc("resilience.retries")
+                with _span("resilience.backoff", key=state.key, attempt=state.counted):
+                    time.sleep(backoff_delay(policy, state.key, state.counted))
             else:
                 state.record("ok", None, time.monotonic() - start)
                 results[state.index] = value
@@ -362,6 +383,7 @@ def supervised_map(
         state.retry_at = time.monotonic() + backoff_delay(
             policy, state.key, state.counted
         )
+        metric_inc("resilience.retries")
         pending.append(state)
         return None
 
@@ -385,7 +407,8 @@ def supervised_map(
             if not inflight:
                 # every remaining item is waiting out its backoff
                 next_at = min(s.retry_at for s in pending)
-                time.sleep(max(_MIN_TICK, next_at - time.monotonic()))
+                with _span("resilience.backoff", waiting=len(pending)):
+                    time.sleep(max(_MIN_TICK, next_at - time.monotonic()))
                 continue
 
             # how long we may block: the nearest attempt deadline or retry
@@ -451,6 +474,8 @@ def supervised_map(
                 inflight.clear()
                 _teardown_pool(pool, kill=True)
                 pool = None
+                trace_event("resilience.pool_respawn", reason="pool_broken")
+                metric_inc("resilience.pool_respawns")
                 continue
 
             # reap attempts that outlived their budget
@@ -482,6 +507,8 @@ def supervised_map(
                     # worker; the pool goes with it.
                     _teardown_pool(pool, kill=True)
                     pool = None
+                    trace_event("resilience.pool_respawn", reason="timeout")
+                    metric_inc("resilience.pool_respawns")
     finally:
         if pool is not None:
             _teardown_pool(pool, kill=True)

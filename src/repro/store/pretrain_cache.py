@@ -17,6 +17,7 @@ robustness-sweep graphs never alias the clean dataset they came from.
 
 from __future__ import annotations
 
+import os
 import time
 import warnings
 from typing import Any, Dict, Optional
@@ -26,9 +27,10 @@ from repro.errors import (
     SnapshotMismatchError,
     SnapshotSchemaError,
 )
+from repro.observability.metrics import metric_inc
 from repro.store.keys import graph_fingerprint, pretrain_key
 from repro.store.snapshot import Snapshot
-from repro.store.store import ArtifactStore, active_store
+from repro.store.store import QUARANTINE_DIR, ArtifactStore, active_store
 
 
 def disabled_stats() -> Dict[str, Any]:
@@ -99,10 +101,17 @@ def warm_pretrain(
         model, pretrain_epochs, dataset=dataset, graph=graph, config=config
     )
     degraded_reason = None
+    quarantined_path = None
     try:
         snapshot = store.get(key, default=None)
     except (ArtifactCorruptError, SnapshotSchemaError) as error:
         degraded_reason = f"{type(error).__name__}: {error}"
+        original = getattr(error, "path", None)
+        if original:
+            # The store moved the corrupt object here before raising.
+            quarantined_path = os.path.join(
+                store.root, QUARANTINE_DIR, os.path.basename(original)
+            )
         snapshot = None
     if snapshot is not None:
         try:
@@ -111,14 +120,25 @@ def warm_pretrain(
             # exactly the noise a cold run would.
             snapshot.apply(model, restore_rng=True)
             hit = True
+            metric_inc("pretrain.warm_hits")
         except (SnapshotMismatchError, SnapshotSchemaError) as error:
             degraded_reason = f"{type(error).__name__}: {error}"
             snapshot = None
     if snapshot is None:
+        metric_inc("pretrain.warm_misses")
         if degraded_reason is not None:
+            metric_inc("pretrain.degraded")
+            # The full key and the quarantine destination make the incident
+            # actionable straight from the log: `repro-run store-gc` output
+            # and the quarantine/ listing both speak the same names.
+            quarantine_note = (
+                f"; corrupt artifact kept at {quarantined_path}"
+                if quarantined_path is not None
+                else ""
+            )
             warnings.warn(
-                f"warm start for key {key[:12]}… degraded to cold "
-                f"pretraining ({degraded_reason})",
+                f"warm start for key {key} (store {store.root}) degraded to "
+                f"cold pretraining ({degraded_reason}){quarantine_note}",
                 RuntimeWarning,
                 stacklevel=2,
             )

@@ -50,6 +50,8 @@ from repro.errors import (
     ArtifactNotFoundError,
     StoreError,
 )
+from repro.observability.metrics import metric_inc
+from repro.observability.tracer import span as _span
 from repro.store.snapshot import Snapshot
 
 #: environment variable naming the store root (unset disables warm starts).
@@ -163,6 +165,7 @@ class ArtifactStore:
             moved.append(destination)
         if moved:
             self._stats["corrupt"] += 1
+            metric_inc("store.corrupt")
         return moved
 
     def quarantined(self) -> List[str]:
@@ -192,6 +195,10 @@ class ArtifactStore:
             raise StoreError(
                 f"ArtifactStore stores Snapshot objects, got {type(snapshot).__name__}"
             )
+        with _span("store.put"):
+            return self._put(key, snapshot)
+
+    def _put(self, key: str, snapshot: Snapshot) -> str:
         from repro.resilience.faults import corrupt_file
 
         path = self._object_path(key)
@@ -217,6 +224,7 @@ class ArtifactStore:
             json.dump(manifest, stream, indent=2, default=str)
         os.replace(tmp_path, manifest_path)
         self._stats["puts"] += 1
+        metric_inc("store.puts")
         return path
 
     def _expected_sha(self, key: str) -> Optional[str]:
@@ -245,9 +253,14 @@ class ArtifactStore:
         :meth:`gc` evicts by).  Hit/miss counters feed the cache statistics
         surfaced in ``RunResult.extra``.
         """
+        with _span("store.get"):
+            return self._get(key, default)
+
+    def _get(self, key: str, default: Any = _MISSING) -> Snapshot:
         path = self._object_path(key)
         if not os.path.exists(path):
             self._stats["misses"] += 1
+            metric_inc("store.misses")
             if default is _MISSING:
                 raise ArtifactNotFoundError(key, self.root)
             return default
@@ -269,6 +282,7 @@ class ArtifactStore:
             raise
         os.utime(path)
         self._stats["hits"] += 1
+        metric_inc("store.hits")
         return snapshot
 
     def manifest(self, key: str) -> Dict[str, Any]:
@@ -328,14 +342,16 @@ class ArtifactStore:
         """
         from repro.resilience.faults import corrupt_file
 
-        path = self._blob_path(category, name)
-        data = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
-        _atomic_write_bytes(path, data)
-        sha256 = _sha256_file(path)
-        corrupt_file("store_write", f"{category}/{name}", path)
-        _atomic_write_bytes(path + ".sha256", sha256.encode("ascii"))
-        self._stats["puts"] += 1
-        return path
+        with _span("store.put_blob"):
+            path = self._blob_path(category, name)
+            data = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+            _atomic_write_bytes(path, data)
+            sha256 = _sha256_file(path)
+            corrupt_file("store_write", f"{category}/{name}", path)
+            _atomic_write_bytes(path + ".sha256", sha256.encode("ascii"))
+            self._stats["puts"] += 1
+            metric_inc("store.puts")
+            return path
 
     def get_blob(self, category: str, name: str, default: Any = _MISSING) -> Any:
         """Load a blob, verifying its checksum before unpickling.
@@ -344,9 +360,14 @@ class ArtifactStore:
         payload) are quarantined and raise
         :class:`~repro.errors.ArtifactCorruptError` with the path.
         """
+        with _span("store.get_blob"):
+            return self._get_blob(category, name, default)
+
+    def _get_blob(self, category: str, name: str, default: Any = _MISSING) -> Any:
         path = self._blob_path(category, name)
         if not os.path.exists(path):
             self._stats["misses"] += 1
+            metric_inc("store.misses")
             if default is _MISSING:
                 raise ArtifactNotFoundError(f"{category}/{name}", self.root)
             return default
@@ -376,6 +397,7 @@ class ArtifactStore:
             ) from error
         os.utime(path)
         self._stats["hits"] += 1
+        metric_inc("store.hits")
         return value
 
     def blob_names(self, category: str) -> List[str]:
@@ -449,6 +471,10 @@ class ArtifactStore:
         stats dict (``scanned_bytes`` / ``evicted`` / ``freed_bytes`` /
         ``remaining_bytes`` / ``max_bytes``).
         """
+        with _span("store.gc"):
+            return self._gc(max_bytes)
+
+    def _gc(self, max_bytes: Optional[int] = None) -> Dict[str, Any]:
         if max_bytes is None:
             max_bytes = repro_env.env_int(repro_env.STORE_MAX_BYTES_ENV, 0)
         max_bytes = int(max_bytes)
@@ -475,6 +501,7 @@ class ArtifactStore:
             remaining -= size
             stats["evicted"] += 1
             stats["freed_bytes"] += size
+            metric_inc("store.evicted")
         stats["remaining_bytes"] = remaining
         return stats
 

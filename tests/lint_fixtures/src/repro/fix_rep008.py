@@ -1,0 +1,19 @@
+"""REP008 fixture: print() in library code."""
+
+from repro.observability.log import get_logger
+
+
+def violations(epoch, loss):
+    print(f"epoch {epoch} loss {loss:.4f}")  # flagged: library print
+    if epoch % 20 == 0:
+        print("checkpoint", epoch)  # flagged: multiple args, still print
+
+
+def suppressed(report):
+    print(report)  # repro: noqa[REP008] fixture: waiver syntax under test
+
+
+def compliant(epoch, loss):
+    get_logger("fixture").info("epoch %d loss %.4f", epoch, loss)
+    logged = "print-free"
+    return logged

@@ -1,4 +1,4 @@
-"""Self-tests for the ``repro-lint`` rule engine and the REP001–REP007 rules.
+"""Self-tests for the ``repro-lint`` rule engine and the REP001–REP008 rules.
 
 Each rule is pinned against a fixture file under ``tests/lint_fixtures/``
 containing a violating, a suppressed and a compliant variant of the same
@@ -49,7 +49,10 @@ def test_module_name_derivation():
 def test_all_rules_registered_with_metadata():
     diagnostics = lint_source("x = 1\n")  # forces rule registration
     assert diagnostics == []
-    expected = {"REP001", "REP002", "REP003", "REP004", "REP005", "REP006", "REP007"}
+    expected = {
+        "REP001", "REP002", "REP003", "REP004",
+        "REP005", "REP006", "REP007", "REP008",
+    }
     assert expected.issubset(set(RULES.names()))
     for code in expected:
         entry = RULES.entry(code)
@@ -179,6 +182,21 @@ def test_rep007_allows_handled_catchalls():
     assert lint_source(source, module="repro.something") == []
 
 
+def test_rep008_no_print_in_library():
+    diagnostics = lint_file(fixture("src", "repro", "fix_rep008.py"))
+    assert codes_and_lines(diagnostics) == [("REP008", 7), ("REP008", 9)]
+    assert "logger" in diagnostics[0].message
+
+
+def test_rep008_exempts_cli_modules():
+    source = "print('usage: repro-run SPEC')\n"
+    assert lint_source(source, module="repro.api.cli") == []
+    assert lint_source(source, module="repro.analysis.cli") == []
+    assert [d.code for d in lint_source(source, module="repro.models.base")] == ["REP008"]
+    # scripts outside the package (benchmarks, examples) may print freely
+    assert lint_source(source, module="") == []
+
+
 def test_library_scoped_rules_skip_scripts():
     assert lint_file(fixture("scripts", "fix_outside_library.py")) == []
 
@@ -192,7 +210,10 @@ def test_lint_paths_report_counts():
     assert report.error_count == len([d for d in report.diagnostics if d.severity == "error"])
     assert report.exit_code == 1
     summary = report.summary()
-    for code in ("REP001", "REP002", "REP003", "REP004", "REP005", "REP006", "REP007"):
+    for code in (
+        "REP001", "REP002", "REP003", "REP004",
+        "REP005", "REP006", "REP007", "REP008",
+    ):
         assert summary.get(code), f"expected {code} findings in the fixture tree"
 
 
@@ -239,7 +260,10 @@ def test_cli_usage_errors(capsys):
 def test_cli_list_rules(capsys):
     assert lint_main(["--list-rules"]) == 0
     out = capsys.readouterr().out
-    for code in ("REP001", "REP002", "REP003", "REP004", "REP005", "REP006", "REP007"):
+    for code in (
+        "REP001", "REP002", "REP003", "REP004",
+        "REP005", "REP006", "REP007", "REP008",
+    ):
         assert code in out
 
 
