@@ -1,0 +1,159 @@
+"""Incremental-cache benchmark for the repro-lint static analyser.
+
+Measures what the content-hash cache of :mod:`repro.analysis.engine` buys on
+the repository's own source tree:
+
+* **cold vs warm lint** — one full run against an empty cache (every file is
+  parsed, fact-extracted and rule-checked) and the same run again against the
+  populated cache (every file is served from its cached per-file record; only
+  the cheap project pass re-executes).  The warm run must reproduce the cold
+  run's diagnostics exactly and be at least ``--required-speedup`` (default
+  5x) faster — CI fails otherwise.  This is the ``lint_walltime`` row of the
+  timing JSON.
+* **parallel cold parse** — the cold run repeated with ``jobs=2`` workers
+  (dogfooding ``repro.parallel``), asserting diagnostics stay identical to
+  the serial pass.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_lint.py            # full run
+    PYTHONPATH=src python benchmarks/bench_lint.py --smoke    # quick CI run
+    PYTHONPATH=src python benchmarks/bench_lint.py --output t.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import sys
+import tempfile
+import time
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.engine import analyze_paths
+from repro.observability.metrics import metrics_report as unified_report
+
+
+def timed_lint(
+    targets: List[str], cache_path: Optional[str], jobs: int = 1
+) -> Tuple[float, "object"]:
+    """One ``analyze_paths`` run: (wall seconds, LintReport)."""
+    start = time.perf_counter()
+    report = analyze_paths(targets, jobs=jobs, cache_path=cache_path)
+    return time.perf_counter() - start, report
+
+
+def diagnostics_key(report) -> List[Tuple]:
+    """Order-independent identity of a run's findings."""
+    return sorted(
+        (d.path, d.line, d.column, d.code, d.message) for d in report.diagnostics
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true", help="small fast run for CI")
+    parser.add_argument(
+        "--targets", nargs="*", default=None, help="paths to lint (default: repo tree)"
+    )
+    parser.add_argument("--repeats", type=int, default=None, help="best-of repeats")
+    parser.add_argument(
+        "--required-speedup",
+        type=float,
+        default=5.0,
+        help="minimum warm-cache speedup over the cold run",
+    )
+    parser.add_argument("--output", type=str, default=None, help="write timing JSON here")
+    args = parser.parse_args(argv)
+
+    repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    if args.targets:
+        targets = args.targets
+    elif args.smoke:
+        targets = [os.path.join(repo_root, "src")]
+    else:
+        targets = [os.path.join(repo_root, d) for d in ("src", "benchmarks", "examples")]
+    repeats = args.repeats if args.repeats is not None else (2 if args.smoke else 3)
+
+    report: Dict = unified_report(
+        "bench_lint",
+        [],
+        repeats=repeats,
+        targets=[os.path.relpath(t, repo_root) for t in targets],
+        required_speedup=args.required_speedup,
+    )
+    failures: List[str] = []
+
+    cold_best = warm_best = float("inf")
+    cold_report = warm_report = None
+    cache_dir = tempfile.mkdtemp(prefix="bench-lint-")
+    try:
+        for repeat in range(repeats):
+            cache_path = os.path.join(cache_dir, f"cache-{repeat}.json")
+            cold_seconds, cold_report = timed_lint(targets, cache_path)
+            warm_seconds, warm_report = timed_lint(targets, cache_path)
+            cold_best = min(cold_best, cold_seconds)
+            warm_best = min(warm_best, warm_seconds)
+            if cold_report.files_cached:
+                failures.append(
+                    f"repeat {repeat}: cold run hit the empty cache "
+                    f"({cold_report.files_cached} files)"
+                )
+            if warm_report.files_reparsed:
+                failures.append(
+                    f"repeat {repeat}: warm run re-parsed "
+                    f"{warm_report.files_reparsed} files"
+                )
+            if diagnostics_key(warm_report) != diagnostics_key(cold_report):
+                failures.append(f"repeat {repeat}: warm diagnostics differ from cold")
+
+        # Parallel cold parse must agree with the serial pass bit for bit.
+        parallel_seconds, parallel_report = timed_lint(targets, cache_path=None, jobs=2)
+        if diagnostics_key(parallel_report) != diagnostics_key(cold_report):
+            failures.append("jobs=2 diagnostics differ from the serial run")
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+
+    speedup = cold_best / max(warm_best, 1e-12)
+    if speedup < args.required_speedup:
+        failures.append(
+            f"warm cache speedup {speedup:.2f}x is below the required "
+            f"{args.required_speedup:.1f}x"
+        )
+
+    row = {
+        "name": "lint_walltime",
+        "files": cold_report.files_checked,
+        "cold_seconds": cold_best,
+        "warm_seconds": warm_best,
+        "speedup": speedup,
+        "required_speedup": args.required_speedup,
+        "warm_files_cached": warm_report.files_cached,
+        "parallel_cold_seconds": parallel_seconds,
+        "diagnostics": len(cold_report.diagnostics),
+        "summary": cold_report.summary(),
+    }
+    report["results"].append(row)
+    print(
+        f"lint_walltime: {cold_report.files_checked} files, "
+        f"cold {cold_best:.3f}s, warm {warm_best:.3f}s ({speedup:.1f}x, "
+        f"required {args.required_speedup:.1f}x), jobs=2 cold {parallel_seconds:.3f}s"
+    )
+
+    if args.output:
+        with open(args.output, "w") as handle:
+            json.dump(report, handle, indent=2)
+        print(f"wrote {args.output}")
+
+    if failures:
+        print("LINT-CACHE REGRESSION:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,73 @@
+"""Baseline files for gradual adoption of new lint rules.
+
+A baseline is a JSON file of *accepted* findings, fingerprinted as
+``path::code::line``.  ``repro-lint --write-baseline`` records the
+current findings; subsequent runs with ``--baseline`` drop any finding
+whose fingerprint appears in the file, so a new rule can land with the
+existing debt frozen while every *new* violation still fails the build.
+Fingerprints are line-based on purpose: editing near an accepted finding
+moves it off its recorded line and resurfaces it, which is the desired
+pressure toward actually fixing the debt.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.analysis.linter import Diagnostic
+from repro.errors import LintConfigError
+
+__all__ = ["fingerprint", "load_baseline", "write_baseline", "apply_baseline"]
+
+#: Schema marker for baseline files.
+BASELINE_SCHEMA = "repro-lint-baseline/1"
+
+
+def fingerprint(diagnostic: Diagnostic) -> str:
+    """Stable identity of a finding: ``path::code::line``."""
+    return f"{diagnostic.path}::{diagnostic.code}::{diagnostic.line}"
+
+
+def load_baseline(path: str) -> Set[str]:
+    """Read the accepted-finding fingerprints from a baseline file."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except FileNotFoundError:
+        raise LintConfigError(f"baseline file not found: {path!r}") from None
+    except (OSError, json.JSONDecodeError) as exc:
+        raise LintConfigError(f"unreadable baseline file {path!r}: {exc}") from exc
+    if not isinstance(payload, dict) or payload.get("schema") != BASELINE_SCHEMA:
+        raise LintConfigError(
+            f"{path!r} is not a repro-lint baseline (expected schema "
+            f"{BASELINE_SCHEMA!r}); regenerate it with --write-baseline"
+        )
+    entries = payload.get("accepted", [])
+    if not isinstance(entries, list):
+        raise LintConfigError(f"baseline file {path!r} has a malformed 'accepted' list")
+    return {str(entry) for entry in entries}
+
+
+def write_baseline(path: str, diagnostics: Sequence[Diagnostic]) -> int:
+    """Record every current finding as accepted; returns the entry count."""
+    accepted = sorted({fingerprint(d) for d in diagnostics})
+    payload: Dict[str, object] = {
+        "schema": BASELINE_SCHEMA,
+        "accepted": accepted,
+    }
+    tmp = f"{path}.tmp"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    os.replace(tmp, path)
+    return len(accepted)
+
+
+def apply_baseline(
+    diagnostics: Sequence[Diagnostic], accepted: Set[str]
+) -> Tuple[List[Diagnostic], int]:
+    """Split findings into (kept, baselined-count)."""
+    kept = [d for d in diagnostics if fingerprint(d) not in accepted]
+    return kept, len(diagnostics) - len(kept)

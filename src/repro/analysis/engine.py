@@ -1,0 +1,283 @@
+"""Analysis orchestration: incremental cache, parallel parse, project pass.
+
+:func:`analyze_paths` is the engine behind ``repro-lint`` and
+:func:`repro.analysis.linter.lint_paths`:
+
+1. discover files and hash their contents (SHA-256),
+2. serve unchanged files from the **incremental cache** — the cache
+   stores the *pre-select* output of every file-scope rule plus the
+   extracted inter-procedural facts, so switching ``--select`` or adding
+   a baseline never invalidates it; editing a file (or changing any
+   rule's registration) does,
+3. re-analyze the misses, optionally fanned out with ``--jobs N`` over
+   :func:`repro.parallel.parallel_map` — the linter dogfooding the
+   deterministic pool it lints,
+4. run the selected project-scope rules (REP1xx) over the
+   :class:`~repro.analysis.graph.ProjectGraph` built from all facts,
+   honouring per-line ``noqa`` waivers exactly like file-scope rules,
+5. report unused suppressions (only after both passes had their chance
+   to mark usage), apply the ``--baseline`` filter, and assemble the
+   :class:`~repro.analysis.linter.LintReport`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.linter import (
+    RULES,
+    Diagnostic,
+    FileAnalysis,
+    LintReport,
+    _Suppression,
+    _resolve_select,
+    analyze_source,
+    assemble_file_diagnostics,
+    iter_python_files,
+    rule_scope,
+    unused_suppression_diagnostics,
+)
+
+__all__ = ["AnalysisCache", "analyze_paths", "rules_fingerprint"]
+
+#: Bump when the cached record layout changes shape.
+CACHE_SCHEMA = "repro-lint-cache/1"
+
+
+def rules_fingerprint() -> str:
+    """Hash of the registered rule catalogue; part of the cache key.
+
+    Any change to a rule's code, summary, severity or scope produces a
+    different fingerprint, invalidating every cached record — rule logic
+    changes almost always ship with a metadata change, and the repo-tree
+    gate re-lints cold in CI regardless.
+    """
+    _resolve_select(None)
+    catalogue = [
+        (code, str(RULES.entry(code).metadata.get("summary", "")),
+         str(RULES.entry(code).metadata.get("severity", "")),
+         str(RULES.entry(code).metadata.get("scope", "")))
+        for code in RULES.names()
+    ]
+    digest = hashlib.sha256(
+        json.dumps([CACHE_SCHEMA, catalogue], sort_keys=True).encode("utf-8")
+    )
+    return digest.hexdigest()
+
+
+def _serialize_analysis(analysis: FileAnalysis) -> Dict[str, Any]:
+    return {
+        "module": analysis.module,
+        "outputs": [list(entry) for entry in analysis.outputs],
+        "suppressions": {
+            str(line): {"codes": list(s.codes), "justification": s.justification}
+            for line, s in analysis.suppressions.items()
+        },
+        "policy": [
+            [d.line, d.column, d.code, d.severity, d.message] for d in analysis.policy
+        ],
+        "facts": analysis.facts,
+    }
+
+
+def _deserialize_analysis(path: str, raw: Dict[str, Any]) -> FileAnalysis:
+    suppressions = {
+        int(line): _Suppression(
+            int(line),
+            tuple(str(c) for c in entry["codes"]),
+            str(entry["justification"]),
+        )
+        for line, entry in raw["suppressions"].items()
+    }
+    policy = [
+        Diagnostic(path, int(p[0]), int(p[1]), str(p[2]), str(p[3]), str(p[4]))
+        for p in raw["policy"]
+    ]
+    outputs = [
+        (str(o[0]), str(o[1]), int(o[2]), int(o[3]), str(o[4])) for o in raw["outputs"]
+    ]
+    facts = raw.get("facts")
+    return FileAnalysis(
+        path, str(raw["module"]), outputs, suppressions, policy,
+        dict(facts) if isinstance(facts, dict) else None,
+    )
+
+
+class AnalysisCache:
+    """Content-hash-keyed store of per-file analysis records."""
+
+    def __init__(self, path: Optional[str]) -> None:
+        self.path = path
+        self.fingerprint = rules_fingerprint()
+        self._files: Dict[str, Dict[str, Any]] = {}
+        self._dirty = False
+        if path is not None and os.path.exists(path):
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    payload = json.load(handle)
+            except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+                payload = None  # a corrupt cache is a cold cache, never an error
+            if (
+                isinstance(payload, dict)
+                and payload.get("schema") == CACHE_SCHEMA
+                and payload.get("fingerprint") == self.fingerprint
+                and isinstance(payload.get("files"), dict)
+            ):
+                self._files = payload["files"]
+
+    def get(self, path: str, sha: str) -> Optional[FileAnalysis]:
+        entry = self._files.get(path)
+        if entry is None or entry.get("sha") != sha:
+            return None
+        try:
+            return _deserialize_analysis(path, entry["record"])
+        except (KeyError, TypeError, ValueError, IndexError):
+            return None  # stale layout: treat as a miss
+
+    def put(self, path: str, sha: str, analysis: FileAnalysis) -> None:
+        self._files[path] = {"sha": sha, "record": _serialize_analysis(analysis)}
+        self._dirty = True
+
+    def save(self) -> None:
+        if self.path is None or not self._dirty:
+            return
+        payload = {
+            "schema": CACHE_SCHEMA,
+            "fingerprint": self.fingerprint,
+            "files": self._files,
+        }
+        tmp = f"{self.path}.tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, sort_keys=True)
+        os.replace(tmp, self.path)
+        self._dirty = False
+
+
+def _analyze_file_worker(item: Tuple[str, str]) -> Tuple[str, Dict[str, Any]]:
+    """Pool work unit: analyze one (path, source) pair.
+
+    Module-level on purpose — it crosses the process boundary and must
+    pickle.  Returns the serialized record rather than the
+    :class:`FileAnalysis` so the parent and a pool worker produce the
+    same bytes.
+    """
+    path, source = item
+    analysis = analyze_source(source, path=path, extract_facts=True)
+    return path, _serialize_analysis(analysis)
+
+
+def _content_sha(source: str) -> str:
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+def _run_project_rules(
+    codes: Sequence[str],
+    analyses: Dict[str, FileAnalysis],
+) -> List[Diagnostic]:
+    """Build the project graph and run the selected REP1xx rules."""
+    from repro.analysis.dataflow import ModuleFacts
+    from repro.analysis.graph import build_project
+
+    project_codes = [code for code in codes if rule_scope(code) == "project"]
+    if not project_codes:
+        return []
+    facts = [
+        ModuleFacts.from_dict(analysis.facts)
+        for analysis in analyses.values()
+        if analysis.facts is not None
+    ]
+    facts.sort(key=lambda mod: mod.path)
+    project = build_project(facts)
+    diagnostics: List[Diagnostic] = []
+    for code in project_codes:
+        entry = RULES.entry(code)
+        severity = str(entry.metadata["severity"])
+        for violation in entry.factory(project):
+            analysis = analyses.get(violation.path)
+            if analysis is not None:
+                suppression = analysis.suppressions.get(violation.line)
+                if suppression is not None and code in suppression.codes:
+                    suppression.used.add(code)
+                    continue
+            diagnostics.append(
+                Diagnostic(
+                    violation.path, violation.line, violation.column,
+                    code, severity, violation.message,
+                )
+            )
+    return diagnostics
+
+
+def analyze_paths(
+    paths: Sequence[str],
+    select: Optional[Sequence[str]] = None,
+    jobs: Optional[int] = None,
+    cache_path: Optional[str] = None,
+    baseline: Optional[Sequence[str]] = None,
+) -> LintReport:
+    """Run the full two-pass analysis over every Python file in ``paths``.
+
+    ``baseline`` is a pre-loaded set/sequence of accepted fingerprints
+    (see :mod:`repro.analysis.baseline`); ``cache_path`` enables the
+    incremental cache; ``jobs`` > 1 parses cold files in the
+    deterministic process pool.
+    """
+    codes = _resolve_select(select)
+    cache = AnalysisCache(cache_path)
+
+    sources: List[Tuple[str, str]] = []
+    for path in iter_python_files(paths):
+        with open(path, "r", encoding="utf-8") as handle:
+            sources.append((path, handle.read()))
+
+    analyses: Dict[str, FileAnalysis] = {}
+    shas: Dict[str, str] = {}
+    cold: List[Tuple[str, str]] = []
+    for path, source in sources:
+        sha = _content_sha(source)
+        shas[path] = sha
+        cached = cache.get(path, sha)
+        if cached is not None:
+            analyses[path] = cached
+        else:
+            cold.append((path, source))
+
+    if cold:
+        if jobs is not None and jobs > 1:
+            from repro.parallel import parallel_map
+
+            records = parallel_map(_analyze_file_worker, cold, jobs=jobs)
+        else:
+            records = [_analyze_file_worker(item) for item in cold]
+        for path, record in records:
+            analysis = _deserialize_analysis(path, record)
+            analyses[path] = analysis
+            cache.put(path, shas[path], analysis)
+    cache.save()
+
+    diagnostics: List[Diagnostic] = []
+    for path in sorted(analyses):
+        diagnostics.extend(assemble_file_diagnostics(analyses[path], codes))
+    diagnostics.extend(_run_project_rules(codes, analyses))
+    if select is None:
+        # Only meaningful once *both* passes have marked waiver usage.
+        for path in sorted(analyses):
+            diagnostics.extend(unused_suppression_diagnostics(analyses[path]))
+    diagnostics.sort(key=lambda d: (d.path, d.line, d.column, d.code))
+
+    baselined = 0
+    if baseline:
+        from repro.analysis.baseline import apply_baseline
+
+        diagnostics, baselined = apply_baseline(diagnostics, set(baseline))
+
+    return LintReport(
+        diagnostics=diagnostics,
+        files_checked=len(sources),
+        files_reparsed=len(cold),
+        files_cached=len(sources) - len(cold),
+        baselined=baselined,
+    )

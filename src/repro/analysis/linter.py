@@ -15,9 +15,16 @@ to re-implement:
   actually suppress something — REP000 otherwise),
 * severity ordering, report assembly and JSON serialisation.
 
-The project rules (REP001–REP006) live in :mod:`repro.analysis.rules`;
-importing this module registers them.  See CONTRIBUTING.md for how to add
-a rule.
+Rules come in two scopes.  *File-scope* rules (REP001–REP008, in
+:mod:`repro.analysis.rules`) see one :class:`ModuleContext` at a time.
+*Project-scope* rules (the REP1xx family, in
+:mod:`repro.analysis.dataflow`) run once per lint invocation against a
+:class:`~repro.analysis.graph.ProjectGraph` built from every analysed
+file, which lets them reason about reachability across modules — see
+:mod:`repro.analysis.engine` for the orchestration (incremental cache,
+``--jobs`` fan-out, baselines).  Importing this module's rule catalogue
+(via :func:`_resolve_select`) registers both families.  See
+CONTRIBUTING.md for how to add a rule of either scope.
 """
 
 from __future__ import annotations
@@ -38,6 +45,7 @@ __all__ = [
     "LintReport",
     "RULES",
     "rule",
+    "project_rule",
     "lint_source",
     "lint_file",
     "lint_paths",
@@ -129,23 +137,44 @@ RULES: Registry = Registry("lint rule")
 Checker = Callable[[ModuleContext], Iterable[RuleViolation]]
 
 
-def rule(code: str, *, summary: str, severity: str = "error") -> Callable[[Checker], Checker]:
-    """Register a checker under a ``REPxxx`` code.
-
-    >>> @rule("REP042", summary="no frobnication", severity="warning")
-    ... def check_frob(ctx: ModuleContext):
-    ...     yield RuleViolation(1, 0, "frobnicated")
-    """
+def _register_rule(code: str, summary: str, severity: str, scope: str) -> Callable[[Checker], Checker]:
     if not _CODE_RE.match(code):
         raise LintConfigError(f"rule codes look like REP123, got {code!r}")
     if severity not in _SEVERITY_RANK:
         raise LintConfigError(f"severity must be one of {sorted(_SEVERITY_RANK)}, got {severity!r}")
 
     def decorator(checker: Checker) -> Checker:
-        RULES.add(code, checker, summary=summary, severity=severity)
+        RULES.add(code, checker, summary=summary, severity=severity, scope=scope)
         return checker
 
     return decorator
+
+
+def rule(code: str, *, summary: str, severity: str = "error") -> Callable[[Checker], Checker]:
+    """Register a file-scope checker under a ``REPxxx`` code.
+
+    >>> @rule("REP042", summary="no frobnication", severity="warning")
+    ... def check_frob(ctx: ModuleContext):
+    ...     yield RuleViolation(1, 0, "frobnicated")
+    """
+    return _register_rule(code, summary, severity, scope="file")
+
+
+def project_rule(code: str, *, summary: str, severity: str = "error") -> Callable[[Checker], Checker]:
+    """Register a project-scope (inter-procedural) checker.
+
+    The checker receives a :class:`~repro.analysis.graph.ProjectContext`
+    (not a :class:`ModuleContext`) and yields
+    :class:`~repro.analysis.graph.ProjectViolation` instances carrying
+    their own file path.  Project rules run once per lint invocation, after
+    every file has been summarised — see CONTRIBUTING.md.
+    """
+    return _register_rule(code, summary, severity, scope="project")
+
+
+def rule_scope(code: str) -> str:
+    """The registered scope of a rule: ``"file"`` or ``"project"``."""
+    return str(RULES.entry(code).metadata.get("scope", "file"))
 
 
 def module_name_for(path: str) -> str:
@@ -197,16 +226,135 @@ def _parse_suppressions(lines: Sequence[str], path: str) -> Tuple[Dict[int, _Sup
 
 
 def _resolve_select(select: Optional[Sequence[str]]) -> List[str]:
-    import repro.analysis.rules  # noqa: F401 — registers the REP rules
+    import repro.analysis.rules  # noqa: F401 — registers the REP0xx file rules
+    import repro.analysis.dataflow  # noqa: F401 — registers the REP1xx project rules
 
     if select is None:
         return RULES.names()
+    select = list(select)
+    if not select:
+        raise LintConfigError(
+            "empty rule selection: --select needs at least one rule code "
+            "(e.g. --select REP001,REP102); run --list-rules for the catalogue"
+        )
+    malformed = [code for code in select if not _CODE_RE.match(code)]
+    if malformed:
+        raise LintConfigError(
+            f"malformed rule code(s): {', '.join(repr(c) for c in malformed)}; "
+            f"rule codes look like REP123 (run --list-rules for the catalogue)"
+        )
     unknown = [code for code in select if code not in RULES]
     if unknown:
         raise LintConfigError(
             f"unknown lint rule(s): {', '.join(unknown)}; available: {', '.join(RULES.names())}"
         )
-    return list(select)
+    return select
+
+
+class FileAnalysis:
+    """Everything one parse of a file yields, before select/suppression.
+
+    The incremental cache of :mod:`repro.analysis.engine` persists exactly
+    this: the raw output of *every* file-scope rule (so a later run with a
+    different ``--select`` can be served from cache), the suppression
+    table, and the inter-procedural facts extracted for the project pass.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        module: str,
+        outputs: List[Tuple[str, str, int, int, str]],
+        suppressions: Dict[int, _Suppression],
+        policy: List[Diagnostic],
+        facts: Optional[Dict[str, object]],
+    ) -> None:
+        self.path = path
+        self.module = module
+        #: ``(code, severity, line, column, message)`` per rule finding.
+        self.outputs = outputs
+        self.suppressions = suppressions
+        #: Non-suppressable policy diagnostics (REP000 justification, REP900).
+        self.policy = policy
+        #: :class:`~repro.analysis.dataflow.ModuleFacts` as a JSON dict.
+        self.facts = facts
+
+
+def analyze_source(
+    source: str,
+    path: str = "<string>",
+    module: Optional[str] = None,
+    extract_facts: bool = True,
+) -> FileAnalysis:
+    """Run every file-scope rule (and fact extraction) over one source text."""
+    _resolve_select(None)  # ensure the rule catalogue is registered
+    resolved_module = module_name_for(path) if module is None else module
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        policy = [
+            Diagnostic(
+                path, exc.lineno or 1, exc.offset or 0, PARSE_ERROR_CODE,
+                "error", f"file does not parse: {exc.msg}",
+            )
+        ]
+        return FileAnalysis(path, resolved_module, [], {}, policy, None)
+    ctx = ModuleContext(path, source, tree, resolved_module)
+    suppressions, policy = _parse_suppressions(ctx.lines, path)
+
+    outputs: List[Tuple[str, str, int, int, str]] = []
+    for code in RULES.names():
+        entry = RULES.entry(code)
+        if entry.metadata.get("scope", "file") != "file":
+            continue
+        severity = str(entry.metadata["severity"])
+        for violation in entry.factory(ctx):
+            outputs.append((code, severity, violation.line, violation.column, violation.message))
+
+    facts: Optional[Dict[str, object]] = None
+    if extract_facts:
+        from repro.analysis.dataflow import extract_module_facts
+
+        facts = extract_module_facts(ctx).to_dict()
+    return FileAnalysis(path, resolved_module, outputs, suppressions, policy, facts)
+
+
+def assemble_file_diagnostics(
+    analysis: FileAnalysis,
+    codes: Sequence[str],
+) -> List[Diagnostic]:
+    """Select + suppress the raw per-file outputs; marks suppression usage."""
+    wanted = set(codes)
+    diagnostics = list(analysis.policy)
+    for code, severity, line, column, message in analysis.outputs:
+        if code not in wanted:
+            continue
+        suppression = analysis.suppressions.get(line)
+        if suppression is not None and code in suppression.codes:
+            suppression.used.add(code)
+            continue
+        diagnostics.append(Diagnostic(analysis.path, line, column, code, severity, message))
+    return diagnostics
+
+
+def unused_suppression_diagnostics(analysis: FileAnalysis) -> List[Diagnostic]:
+    """REP000 warnings for waivers that suppressed nothing.
+
+    Only meaningful when every rule ran (otherwise "unused" is an artifact
+    of the ``--select`` filter) and after *both* the file-scope and the
+    project-scope passes have had their chance to mark usage.
+    """
+    diagnostics = []
+    for suppression in analysis.suppressions.values():
+        unused = [code for code in suppression.codes if code not in suppression.used]
+        if unused:
+            diagnostics.append(
+                Diagnostic(
+                    analysis.path, suppression.line, 0, NOQA_POLICY_CODE, "warning",
+                    f"noqa[{','.join(unused)}] suppresses nothing on this line; drop it",
+                )
+            )
+    return diagnostics
 
 
 def lint_source(
@@ -215,46 +363,17 @@ def lint_source(
     module: Optional[str] = None,
     select: Optional[Sequence[str]] = None,
 ) -> List[Diagnostic]:
-    """Lint source text directly (the entry point the self-tests use)."""
+    """Lint source text directly (the entry point the self-tests use).
+
+    This is the *file-scope* view: the REP1xx project rules need the whole
+    tree and only run through :func:`lint_paths` /
+    :func:`repro.analysis.engine.analyze_paths`.
+    """
     codes = _resolve_select(select)
-    try:
-        tree = ast.parse(source, filename=path)
-    except SyntaxError as exc:
-        return [
-            Diagnostic(
-                path, exc.lineno or 1, exc.offset or 0, PARSE_ERROR_CODE,
-                "error", f"file does not parse: {exc.msg}",
-            )
-        ]
-    ctx = ModuleContext(path, source, tree, module_name_for(path) if module is None else module)
-    suppressions, diagnostics = _parse_suppressions(ctx.lines, path)
-
-    for code in codes:
-        entry = RULES.entry(code)
-        severity = str(entry.metadata["severity"])
-        for violation in entry.factory(ctx):
-            suppression = suppressions.get(violation.line)
-            if suppression is not None and code in suppression.codes:
-                suppression.used.add(code)
-                continue
-            diagnostics.append(
-                Diagnostic(path, violation.line, violation.column, code, severity, violation.message)
-            )
-
-    # An unused suppression is a blanket waiver waiting to rot; only
-    # meaningful when every rule ran (otherwise "unused" is an artifact of
-    # the --select filter).
+    analysis = analyze_source(source, path=path, module=module, extract_facts=False)
+    diagnostics = assemble_file_diagnostics(analysis, codes)
     if select is None:
-        for suppression in suppressions.values():
-            unused = [code for code in suppression.codes if code not in suppression.used]
-            if unused:
-                diagnostics.append(
-                    Diagnostic(
-                        path, suppression.line, 0, NOQA_POLICY_CODE, "warning",
-                        f"noqa[{','.join(unused)}] suppresses nothing on this line; drop it",
-                    )
-                )
-
+        diagnostics.extend(unused_suppression_diagnostics(analysis))
     diagnostics.sort(key=lambda d: (d.path, d.line, d.column, d.code))
     return diagnostics
 
@@ -287,6 +406,11 @@ class LintReport:
 
     diagnostics: List[Diagnostic]
     files_checked: int
+    #: Files re-parsed this run vs. served from the incremental cache.
+    files_reparsed: int = 0
+    files_cached: int = 0
+    #: Findings hidden by the ``--baseline`` file (gradual adoption).
+    baselined: int = 0
 
     @property
     def error_count(self) -> int:
@@ -310,6 +434,9 @@ class LintReport:
     def to_dict(self) -> Dict[str, object]:
         return {
             "files_checked": self.files_checked,
+            "files_reparsed": self.files_reparsed,
+            "files_cached": self.files_cached,
+            "baselined": self.baselined,
             "errors": self.error_count,
             "warnings": self.warning_count,
             "summary": self.summary(),
@@ -319,13 +446,14 @@ class LintReport:
 
 
 def lint_paths(paths: Sequence[str], select: Optional[Sequence[str]] = None) -> LintReport:
-    """Lint every Python file under ``paths`` and return the full report."""
-    diagnostics: List[Diagnostic] = []
-    files = 0
-    for path in iter_python_files(paths):
-        files += 1
-        diagnostics.extend(lint_file(path, select=select))
-    diagnostics.sort(
-        key=lambda d: (_SEVERITY_RANK[d.severity], d.path, d.line, d.column, d.code)
-    )
-    return LintReport(diagnostics=diagnostics, files_checked=files)
+    """Lint every Python file under ``paths`` and return the full report.
+
+    Runs both passes: the per-file rules and — when selected (they are by
+    default) — the inter-procedural REP1xx rules over the project graph
+    built from the same files.  This is a thin facade over
+    :func:`repro.analysis.engine.analyze_paths`, which adds the incremental
+    cache, ``--jobs`` fan-out and baseline handling for CLI/CI use.
+    """
+    from repro.analysis.engine import analyze_paths
+
+    return analyze_paths(paths, select=select)

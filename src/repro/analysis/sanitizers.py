@@ -78,7 +78,7 @@ def _child_hook(child: Tensor) -> None:
             f"output of shape {data.shape}"
         )
     if child._backward is not None:
-        _graph_nodes.add(child)
+        _graph_nodes.add(child)  # repro: noqa[REP102] per-process leak-detector bookkeeping, reset every trial
 
 
 def _grad_hook(node: Tensor, grad: np.ndarray) -> None:
@@ -97,7 +97,7 @@ def sanitizers_enabled() -> bool:
 def install_sanitizers() -> None:
     """Install the tensor hooks and start tracking graph nodes."""
     global _enabled
-    _enabled = True
+    _enabled = True  # repro: noqa[REP102] per-process install flag; each worker arms its own hooks
     _tensor_mod.set_sanitizer_hooks(_child_hook, _grad_hook)
 
 
@@ -116,7 +116,7 @@ def install_from_env() -> bool:
     pool workers (workers inherit the parent environment, so exporting the
     flag before the pool starts sanitizes every trial).
     """
-    if env_flag(SANITIZE_ENV) and not _enabled:
+    if env_flag(SANITIZE_ENV) and not _enabled:  # repro: noqa[REP104] workers deliberately re-read inherited REPRO_SANITIZE (set before fan-out)
         install_sanitizers()
     return _enabled
 

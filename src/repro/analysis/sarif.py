@@ -1,0 +1,96 @@
+"""SARIF 2.1.0 export for ``repro-lint`` reports.
+
+SARIF (Static Analysis Results Interchange Format, OASIS standard) is
+what code-scanning UIs ingest — GitHub renders a ``.sarif`` artifact as
+inline annotations on the PR diff.  This writer emits the minimal valid
+subset: one ``run`` with a ``tool.driver`` carrying the rule catalogue
+and one ``result`` per diagnostic.  Columns are converted from the
+linter's 0-based offsets to SARIF's 1-based convention.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, List, Sequence
+
+from repro.analysis.linter import RULES, Diagnostic
+
+__all__ = ["sarif_report", "write_sarif"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = "https://json.schemastore.org/sarif-2.1.0.json"
+
+_LEVELS = {"error": "error", "warning": "warning"}
+
+
+def _rule_descriptors(codes: Sequence[str]) -> List[Dict[str, Any]]:
+    descriptors: List[Dict[str, Any]] = []
+    for code in sorted(codes):
+        entry: Dict[str, Any] = {"id": code}
+        if code in RULES:
+            metadata = RULES.entry(code).metadata
+            entry["shortDescription"] = {"text": str(metadata.get("summary", code))}
+            entry["defaultConfiguration"] = {
+                "level": _LEVELS.get(str(metadata.get("severity", "error")), "error")
+            }
+        else:  # engine meta-codes (REP000 policy, REP900 parse errors)
+            entry["shortDescription"] = {"text": "repro-lint engine diagnostic"}
+        descriptors.append(entry)
+    return descriptors
+
+
+def sarif_report(
+    diagnostics: Sequence[Diagnostic], tool_version: str = "2.0.0"
+) -> Dict[str, Any]:
+    """Assemble a SARIF 2.1.0 log dict for a set of findings."""
+    results: List[Dict[str, Any]] = []
+    for diagnostic in diagnostics:
+        results.append(
+            {
+                "ruleId": diagnostic.code,
+                "level": _LEVELS.get(diagnostic.severity, "error"),
+                "message": {"text": diagnostic.message},
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {
+                                "uri": diagnostic.path.replace(os.sep, "/"),
+                            },
+                            "region": {
+                                "startLine": max(1, diagnostic.line),
+                                "startColumn": diagnostic.column + 1,
+                            },
+                        }
+                    }
+                ],
+            }
+        )
+    codes = sorted({d.code for d in diagnostics})
+    return {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": "https://github.com/repro/repro-rgae",
+                        "version": tool_version,
+                        "rules": _rule_descriptors(codes),
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+
+
+def write_sarif(path: str, diagnostics: Sequence[Diagnostic]) -> None:
+    """Write the SARIF log atomically."""
+    payload = sarif_report(diagnostics)
+    tmp = f"{path}.tmp"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    os.replace(tmp, path)

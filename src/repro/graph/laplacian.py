@@ -38,8 +38,8 @@ def add_self_loops(adjacency: AdjacencyLike) -> AdjacencyLike:
     """Return ``A + I`` (without modifying the input); preserves the backend."""
     if isinstance(adjacency, SparseAdjacency):
         return adjacency.add_self_loops()
-    adjacency = np.asarray(adjacency, dtype=np.float64)
-    return adjacency + np.eye(adjacency.shape[0])
+    dense = np.asarray(adjacency, dtype=np.float64)
+    return dense + np.eye(dense.shape[0])
 
 
 def normalize_adjacency(adjacency: AdjacencyLike, self_loops: bool = True) -> AdjacencyLike:
@@ -59,25 +59,25 @@ def normalize_adjacency(adjacency: AdjacencyLike, self_loops: bool = True) -> Ad
     """
     if isinstance(adjacency, SparseAdjacency):
         return adjacency.normalize(self_loops=self_loops)
-    adjacency = np.asarray(adjacency, dtype=np.float64)
+    dense = np.asarray(adjacency, dtype=np.float64)
     if self_loops:
-        adjacency = add_self_loops(adjacency)
-    degrees = adjacency.sum(axis=1)
+        dense = dense + np.eye(dense.shape[0])
+    degrees = dense.sum(axis=1)
     inv_sqrt = np.zeros_like(degrees)
     nonzero = degrees > 0
     inv_sqrt[nonzero] = 1.0 / np.sqrt(degrees[nonzero])
-    return adjacency * inv_sqrt[:, None] * inv_sqrt[None, :]
+    return dense * inv_sqrt[:, None] * inv_sqrt[None, :]
 
 
 def graph_laplacian(adjacency: AdjacencyLike, normalized: bool = False) -> np.ndarray:
     """Combinatorial (``D - A``) or symmetric normalised Laplacian (dense)."""
     if isinstance(adjacency, SparseAdjacency):
         adjacency = adjacency.to_dense()
-    adjacency = np.asarray(adjacency, dtype=np.float64)
+    dense = np.asarray(adjacency, dtype=np.float64)
     if not normalized:
-        return degree_matrix(adjacency) - adjacency
-    norm = normalize_adjacency(adjacency, self_loops=False)
-    return np.eye(adjacency.shape[0]) - norm
+        return degree_matrix(dense) - dense
+    norm = np.asarray(normalize_adjacency(dense, self_loops=False))
+    return np.eye(dense.shape[0]) - norm
 
 
 def laplacian_quadratic_form(embeddings: np.ndarray, adjacency: AdjacencyLike) -> float:
@@ -112,7 +112,7 @@ def laplacian_quadratic_form(embeddings: np.ndarray, adjacency: AdjacencyLike) -
     return float(0.5 * (row_deg @ sq_norms + col_deg @ sq_norms) - cross)
 
 
-def laplacian_quadratic_form_dense(embeddings: np.ndarray, adjacency: np.ndarray) -> float:
+def laplacian_quadratic_form_dense(embeddings: np.ndarray, adjacency: AdjacencyLike) -> float:
     """Reference O(N² d) implementation via the dense Gram matrix ``Z Zᵀ``.
 
     Kept for the equivalence tests and the dense baseline of

@@ -69,10 +69,10 @@ def resolved_sparse_thresholds() -> Tuple[int, float]:
     """
     node = _node_threshold_override
     if node is None:
-        node = repro_env.env_int(SPARSE_NODE_THRESHOLD_ENV, SPARSE_NODE_THRESHOLD)
+        node = repro_env.env_int(SPARSE_NODE_THRESHOLD_ENV, SPARSE_NODE_THRESHOLD)  # repro: noqa[REP104] documented dynamic threshold; workers inherit the parent env
     density = _density_threshold_override
     if density is None:
-        density = repro_env.env_float(
+        density = repro_env.env_float(  # repro: noqa[REP104] documented dynamic threshold; workers inherit the parent env
             SPARSE_DENSITY_THRESHOLD_ENV, SPARSE_DENSITY_THRESHOLD
         )
     return int(node), float(density)
@@ -94,9 +94,9 @@ def sparse_threshold_overrides(
     global _node_threshold_override, _density_threshold_override
     previous = (_node_threshold_override, _density_threshold_override)
     if node_threshold is not None:
-        _node_threshold_override = int(node_threshold)
+        _node_threshold_override = int(node_threshold)  # repro: noqa[REP102] test-only override, per process, restored in finally
     if density_threshold is not None:
-        _density_threshold_override = float(density_threshold)
+        _density_threshold_override = float(density_threshold)  # repro: noqa[REP102] test-only override, per process, restored in finally
     try:
         yield
     finally:

@@ -7,7 +7,7 @@ self-supervision graph (star-shaped sub-graph structure).
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Dict, List
 
 import numpy as np
 
@@ -22,11 +22,11 @@ def edge_count(adjacency: np.ndarray) -> int:
 def density(adjacency: np.ndarray) -> float:
     """Fraction of possible undirected edges that are present."""
     adjacency = np.asarray(adjacency)
-    n = adjacency.shape[0]
+    n = int(adjacency.shape[0])
     possible = n * (n - 1) / 2
     if possible == 0:
         return 0.0
-    return edge_count(adjacency) / possible
+    return float(edge_count(adjacency) / possible)
 
 
 def homophily(adjacency: np.ndarray, labels: np.ndarray) -> float:
@@ -34,7 +34,7 @@ def homophily(adjacency: np.ndarray, labels: np.ndarray) -> float:
     adjacency = np.asarray(adjacency)
     labels = np.asarray(labels)
     upper = np.triu(adjacency > 0, k=1)
-    total = upper.sum()
+    total = int(upper.sum())
     if total == 0:
         return 0.0
     same = labels[:, None] == labels[None, :]
@@ -49,7 +49,7 @@ def intra_cluster_edge_fraction(adjacency: np.ndarray, labels: np.ndarray) -> fl
 def connected_components(adjacency: np.ndarray) -> List[np.ndarray]:
     """Connected components as lists of node indices (BFS, no networkx needed)."""
     adjacency = np.asarray(adjacency) > 0
-    n = adjacency.shape[0]
+    n = int(adjacency.shape[0])
     unvisited = np.ones(n, dtype=bool)
     components: List[np.ndarray] = []
     for start in range(n):
@@ -87,9 +87,9 @@ def star_subgraph_count(adjacency: np.ndarray, min_leaves: int = 2) -> int:
     return int(stars)
 
 
-def describe(graph: AttributedGraph) -> dict:
+def describe(graph: AttributedGraph) -> Dict[str, object]:
     """Summary dictionary used in dataset documentation and tests."""
-    summary = {
+    summary: Dict[str, object] = {
         "name": graph.name,
         "num_nodes": graph.num_nodes,
         "num_edges": graph.num_edges,

@@ -11,7 +11,7 @@ version acts as a cross-check in tests.
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Dict, List, Tuple
 
 import numpy as np
 
@@ -74,8 +74,8 @@ def hungarian_algorithm(cost: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
             j0 = j1
             if j0 == 0:
                 break
-    rows = []
-    cols = []
+    rows: List[int] = []
+    cols: List[int] = []
     for j in range(1, m + 1):
         if p[j] != 0:
             rows.append(p[j] - 1)
@@ -91,7 +91,7 @@ def hungarian_algorithm(cost: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
 
 def hungarian_matching(
     true_labels: np.ndarray, predicted_labels: np.ndarray
-) -> dict:
+) -> Dict[int, int]:
     """Best mapping from predicted cluster ids to ground-truth class ids.
 
     Maximises the number of correctly matched samples.  Returns a dictionary
@@ -122,4 +122,4 @@ def align_labels(true_labels: np.ndarray, predicted_labels: np.ndarray) -> np.nd
     predicted_labels = np.asarray(predicted_labels, dtype=np.int64)
     lookup = np.zeros(max(mapping) + 1, dtype=np.int64)
     lookup[list(mapping.keys())] = list(mapping.values())
-    return np.take(lookup, predicted_labels)
+    return np.asarray(np.take(lookup, predicted_labels))

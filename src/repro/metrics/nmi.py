@@ -55,7 +55,7 @@ def normalized_mutual_information(
     if average == "arithmetic":
         denom = 0.5 * (h_true + h_pred)
     elif average == "geometric":
-        denom = np.sqrt(h_true * h_pred)
+        denom = float(np.sqrt(h_true * h_pred))
     else:
         raise ValueError(f"unknown average: {average!r}")
     if denom == 0.0:

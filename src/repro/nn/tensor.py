@@ -40,8 +40,8 @@ def set_sanitizer_hooks(
 ) -> None:
     """Install (or, with ``None``, remove) the runtime sanitizer hooks."""
     global _CHILD_HOOK, _GRAD_HOOK
-    _CHILD_HOOK = child_hook
-    _GRAD_HOOK = grad_hook
+    _CHILD_HOOK = child_hook  # repro: noqa[REP102] per-process sanitizer hook slot, set once at worker start
+    _GRAD_HOOK = grad_hook  # repro: noqa[REP102] per-process sanitizer hook slot, set once at worker start
 
 
 @contextlib.contextmanager
@@ -54,7 +54,7 @@ def no_grad():
     threads.
     """
     previous = grad_enabled()
-    _GRAD_STATE.enabled = False
+    _GRAD_STATE.enabled = False  # repro: noqa[REP102] thread-local grad mode, restored in finally; deterministic per worker
     try:
         yield
     finally:

@@ -31,7 +31,7 @@ def _configure_root() -> None:
         root.addHandler(handler)
         root.setLevel(logging.INFO)
         root.propagate = False
-    _CONFIGURED = True
+    _CONFIGURED = True  # repro: noqa[REP102] idempotent per-process logging setup
 
 
 def get_logger(name: Optional[str] = None) -> logging.Logger:

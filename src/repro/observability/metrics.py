@@ -119,19 +119,19 @@ def install_metrics(registry: Optional[MetricsRegistry] = None) -> MetricsRegist
     global _METRICS
     if registry is None:
         registry = MetricsRegistry()
-    _METRICS = registry
+    _METRICS = registry  # repro: noqa[REP102] Optional-global hook slot: each worker installs its own registry
     return registry
 
 
 def uninstall_metrics() -> None:
     """Disable metrics: instrumented sites return to the no-op path."""
     global _METRICS
-    _METRICS = None
+    _METRICS = None  # repro: noqa[REP102] Optional-global hook slot: each worker installs its own registry
 
 
 def metrics_enabled() -> bool:
     """Whether ``REPRO_METRICS`` asks for metric collection in this process."""
-    return repro_env.env_flag(repro_env.METRICS_ENV)
+    return repro_env.env_flag(repro_env.METRICS_ENV)  # repro: noqa[REP104] workers re-read inherited REPRO_METRICS by design (set before fan-out)
 
 
 def merge_metrics(snapshots: Iterable[Tuple[str, Dict[str, Any]]]) -> Dict[str, Any]:

@@ -267,19 +267,19 @@ def install_tracer(tracer: Optional[Tracer] = None) -> Tracer:
     global _TRACER
     if tracer is None:
         tracer = Tracer()
-    _TRACER = tracer
+    _TRACER = tracer  # repro: noqa[REP102] Optional-global hook slot: each worker installs its own tracer
     return tracer
 
 
 def uninstall_tracer() -> None:
     """Disable tracing: instrumented sites return to the no-op path."""
     global _TRACER
-    _TRACER = None
+    _TRACER = None  # repro: noqa[REP102] Optional-global hook slot: each worker installs its own tracer
 
 
 def tracing_enabled() -> bool:
     """Whether ``REPRO_TRACE`` asks for tracing in this process."""
-    return repro_env.env_flag(repro_env.TRACE_ENV)
+    return repro_env.env_flag(repro_env.TRACE_ENV)  # repro: noqa[REP104] workers re-read inherited REPRO_TRACE by design (set before fan-out)
 
 
 @contextlib.contextmanager

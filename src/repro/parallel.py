@@ -76,7 +76,7 @@ _dataset_cache_stats: Dict[str, int] = {"hits": 0, "misses": 0}
 
 def dataset_cache_limit() -> int:
     """Max entries of the per-process dataset cache (env-configurable)."""
-    limit = repro_env.env_int(DATASET_CACHE_SIZE_ENV, DEFAULT_DATASET_CACHE_SIZE)
+    limit = repro_env.env_int(DATASET_CACHE_SIZE_ENV, DEFAULT_DATASET_CACHE_SIZE)  # repro: noqa[REP104] cache limit is per-process capacity, not trial-visible state
     if limit < 0:
         raise ConfigError(f"{DATASET_CACHE_SIZE_ENV} must be >= 0, got {limit}")
     return limit
@@ -96,8 +96,8 @@ def load_dataset_cached(
     limit = dataset_cache_limit()
     key = (str(name), int(seed), json.dumps(options or {}, sort_keys=True))
     if limit and key in _dataset_cache:
-        _dataset_cache.move_to_end(key)
-        _dataset_cache_stats["hits"] += 1
+        _dataset_cache.move_to_end(key)  # repro: noqa[REP102] per-worker dataset cache; entries are deterministic by (name, seed, options)
+        _dataset_cache_stats["hits"] += 1  # repro: noqa[REP102] per-worker cache stats, observability only, never trial-visible
         return _dataset_cache[key]
     _dataset_cache_stats["misses"] += 1
     graph = DATASETS[name](int(seed), **(options or {}))

@@ -168,11 +168,11 @@ _plan_cache: Tuple[Optional[str], Tuple[FaultRule, ...]] = (None, ())
 def active_plan() -> Tuple[FaultRule, ...]:
     """The rules of the current ``REPRO_FAULTS`` value (``()`` when unset)."""
     global _plan_cache
-    text = repro_env.env_str(repro_env.FAULTS_ENV)
+    text = repro_env.env_str(repro_env.FAULTS_ENV)  # repro: noqa[REP104] fault plans are injected per worker via inherited REPRO_FAULTS by design
     if text == _plan_cache[0]:
         return _plan_cache[1]
     rules = parse_fault_plan(text)
-    _plan_cache = (text, rules)
+    _plan_cache = (text, rules)  # repro: noqa[REP102] per-process parse cache keyed by the env text itself
     return rules
 
 

@@ -114,7 +114,7 @@ class ArtifactStore:
 
     def __init__(self, root: Optional[str] = None) -> None:
         if root is None:
-            root = repro_env.env_str(STORE_DIR_ENV, DEFAULT_STORE_DIR)
+            root = repro_env.env_str(STORE_DIR_ENV, DEFAULT_STORE_DIR)  # repro: noqa[REP104] store root resolves per process; workers inherit REPRO_STORE_DIR
         self.root = str(root)
         self._stats: Dict[str, int] = {
             "hits": 0,
@@ -513,7 +513,7 @@ def active_store() -> Optional[ArtifactStore]:
     enable the store for pool workers by exporting the variable before the
     pool starts — worker processes inherit the parent environment.
     """
-    root = repro_env.env_str(STORE_DIR_ENV)
+    root = repro_env.env_str(STORE_DIR_ENV)  # repro: noqa[REP104] documented: workers inherit REPRO_STORE_DIR set before the pool starts
     if not root:
         return None
     return ArtifactStore(root)

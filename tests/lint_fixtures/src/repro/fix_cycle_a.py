@@ -1,0 +1,16 @@
+"""Import-cycle fixture (half A): the analysis must tolerate cycles."""
+
+from repro.fix_cycle_b import transform
+from repro.parallel import parallel_map
+
+
+def work(item):
+    return transform(item)
+
+
+def sweep(items):
+    return parallel_map(work, items, jobs=2)
+
+
+def helper(item):
+    return item + 1

@@ -1,0 +1,7 @@
+"""Import-cycle fixture (half B): closes the cycle with a lazy import."""
+
+
+def transform(item):
+    from repro.fix_cycle_a import helper  # function-level import closing the cycle
+
+    return helper(item) * 2

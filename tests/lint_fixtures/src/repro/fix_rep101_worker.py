@@ -1,0 +1,13 @@
+"""REP101 fixture helpers: wrappers that forward callables into the pool."""
+
+from repro.parallel import parallel_map
+
+
+def run_distributed(fn, items):
+    """One level of forwarding: ``fn`` crosses the pool boundary here."""
+    return parallel_map(fn, items, jobs=2)
+
+
+def run_wrapped(fn, items):
+    """Two levels of forwarding: ``fn`` flows through ``run_distributed``."""
+    return run_distributed(fn, items)

@@ -1,0 +1,27 @@
+"""REP102 fixture: cross-module attribute write from worker-reachable code."""
+
+import repro.fix_rep102_state as state_mod
+from repro.parallel import parallel_map
+
+
+def poke(item):
+    state_mod.limit = item  # flagged: writes another module's attribute
+    return item
+
+
+def waived(item):
+    state_mod.limit = item  # repro: noqa[REP102] fixture: waiver syntax under test
+    return item
+
+
+def sweep(items):
+    return parallel_map(poke, items, jobs=2)
+
+
+def sweep_waived(items):
+    return parallel_map(waived, items, jobs=2)
+
+
+def compliant(item, sink):
+    sink[item] = item  # parameter-held state: fine
+    return sink

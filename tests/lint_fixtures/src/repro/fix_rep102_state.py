@@ -1,0 +1,21 @@
+"""REP102 fixture: module-level state mutated by worker-reachable code."""
+
+from repro.parallel import parallel_map
+
+_RESULTS = {}
+_COUNTER = 0
+
+
+def record(key, value):
+    global _COUNTER
+    _RESULTS[key] = value  # flagged: module dict written inside a worker
+    _COUNTER += 1  # flagged: module counter rebound inside a worker
+    return _COUNTER
+
+
+def work(item):
+    return record(item, item * 2)
+
+
+def sweep(items):
+    return parallel_map(work, items, jobs=2)

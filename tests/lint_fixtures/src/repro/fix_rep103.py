@@ -1,0 +1,42 @@
+"""REP103 fixture: RNG misuse hiding three calls below the pool boundary.
+
+The file-scope REP001 flags the syntax; the waivers on those lines leave
+REP103 to prove the *reachability* half — the draw is only a finding
+because the call chain connects it to a pool submission.
+"""
+
+import numpy as np
+
+from repro.parallel import parallel_map
+
+
+def _leaf_draw(n):
+    return np.random.rand(n)  # repro: noqa[REP001] fixture: REP103 exercises the reachability path
+
+
+def _middle(n):
+    return _leaf_draw(n) + 1.0
+
+
+def work(item):
+    return _middle(item)  # flagged via: work -> _middle -> _leaf_draw
+
+
+def constant_seeded(item):
+    rng = np.random.default_rng(0)  # flagged: every trial would share one stream
+    return rng.random(item)
+
+
+def waived_draw(n):
+    return np.random.rand(n)  # repro: noqa[REP001,REP103] fixture: waiver syntax under test
+
+
+def sweep(items):
+    a = parallel_map(work, items, jobs=2)
+    b = parallel_map(constant_seeded, items, jobs=2)
+    c = parallel_map(waived_draw, items, jobs=2)
+    return a, b, c
+
+
+def compliant(item, rng):
+    return rng.normal(size=item)  # seeded Generator arrives as a parameter

@@ -1,0 +1,26 @@
+"""REP104 fixture: configuration resolved after the pool fan-out."""
+
+from repro.env import env_flag
+from repro.parallel import parallel_map
+
+
+def work(item):
+    if env_flag("REPRO_FIXTURE_FLAG"):  # flagged: env read inside a worker
+        return item * 2
+    return item
+
+
+def waived(item):
+    return item if env_flag("REPRO_FIXTURE_FLAG") else 0  # repro: noqa[REP104] fixture: waiver syntax under test
+
+
+def sweep(items):
+    return parallel_map(work, items, jobs=2)
+
+
+def sweep_waived(items):
+    return parallel_map(waived, items, jobs=2)
+
+
+def compliant(items, doubled):
+    return [item * 2 if doubled else item for item in items]
